@@ -1,0 +1,352 @@
+(* tilesched: command-line front end.
+
+   Subcommands:
+     figure    - regenerate a figure of the paper (ASCII to stdout + SVG)
+     exact     - decide whether a prototile tiles the lattice
+     schedule  - build and verify an optimal schedule for a prototile
+     color     - compare slot counts against classical baselines
+     simulate  - run the wireless simulator under a chosen MAC
+
+   Prototiles are named on the command line:
+     cheb<r>, euclid<r>, manhattan<r>, rect<W>x<H>, dir,
+     tet-<I|O|T|S|Z|L|J>, pent-<F|I|L|N|P|T|U|V|W|X|Y|Z>,
+     or cells:<x,y;x,y;...> (must include 0,0). *)
+
+open Cmdliner
+open Lattice
+
+(* ---------- prototile parsing ---------- *)
+
+let parse_tile s =
+  let fail msg = Error (`Msg msg) in
+  let prefix p = String.length s > String.length p && String.sub s 0 (String.length p) = p in
+  let suffix_int p = int_of_string (String.sub s (String.length p) (String.length s - String.length p)) in
+  try
+    if s = "dir" then Ok Prototile.directional
+    else if prefix "cheb" then Ok (Prototile.chebyshev_ball ~dim:2 (suffix_int "cheb"))
+    else if prefix "euclid" then Ok (Prototile.euclidean_ball ~dim:2 (suffix_int "euclid"))
+    else if prefix "manhattan" then Ok (Prototile.manhattan_ball ~dim:2 (suffix_int "manhattan"))
+    else if prefix "rect" then begin
+      match String.split_on_char 'x' (String.sub s 4 (String.length s - 4)) with
+      | [ w; h ] -> Ok (Prototile.rect (int_of_string w) (int_of_string h))
+      | _ -> fail "rect needs the form rect<W>x<H>"
+    end
+    else if prefix "tet-" then begin
+      match String.sub s 4 1 with
+      | "I" -> Ok (Prototile.tetromino `I)
+      | "O" -> Ok (Prototile.tetromino `O)
+      | "T" -> Ok (Prototile.tetromino `T)
+      | "S" -> Ok (Prototile.tetromino `S)
+      | "Z" -> Ok (Prototile.tetromino `Z)
+      | "L" -> Ok (Prototile.tetromino `L)
+      | "J" -> Ok (Prototile.tetromino `J)
+      | c -> fail ("unknown tetromino " ^ c)
+    end
+    else if prefix "pent-" then begin
+      match String.sub s 5 1 with
+      | "F" -> Ok (Prototile.pentomino `F)
+      | "I" -> Ok (Prototile.pentomino `I)
+      | "L" -> Ok (Prototile.pentomino `L)
+      | "N" -> Ok (Prototile.pentomino `N)
+      | "P" -> Ok (Prototile.pentomino `P)
+      | "T" -> Ok (Prototile.pentomino `T)
+      | "U" -> Ok (Prototile.pentomino `U)
+      | "V" -> Ok (Prototile.pentomino `V)
+      | "W" -> Ok (Prototile.pentomino `W)
+      | "X" -> Ok (Prototile.pentomino `X)
+      | "Y" -> Ok (Prototile.pentomino `Y)
+      | "Z" -> Ok (Prototile.pentomino `Z)
+      | c -> fail ("unknown pentomino " ^ c)
+    end
+    else if prefix "cells:" then begin
+      let body = String.sub s 6 (String.length s - 6) in
+      let cells =
+        String.split_on_char ';' body
+        |> List.map (fun pair ->
+               match String.split_on_char ',' pair with
+               | [ x; y ] -> Zgeom.Vec.make2 (int_of_string x) (int_of_string y)
+               | _ -> failwith "cells need the form x,y;x,y;...")
+      in
+      Ok (Prototile.of_cells cells)
+    end
+    else fail ("unknown prototile: " ^ s)
+  with
+  | Failure msg -> fail msg
+  | Assert_failure _ -> fail "invalid prototile (did you include the origin 0,0?)"
+
+let tile_conv = Arg.conv (parse_tile, fun fmt p -> Format.fprintf fmt "%d-cell tile" (Prototile.size p))
+
+let tile_arg =
+  Arg.(
+    required
+    & opt (some tile_conv) None
+    & info [ "t"; "tile" ] ~docv:"TILE" ~doc:"Interference prototile (e.g. cheb1, tet-S, rect2x4).")
+
+let width_arg =
+  Arg.(value & opt int 12 & info [ "w"; "width" ] ~docv:"W" ~doc:"Window/field width.")
+
+let height_arg =
+  Arg.(value & opt int 9 & info [ "h"; "height" ] ~docv:"H" ~doc:"Window/field height.")
+
+(* ---------- figure ---------- *)
+
+let figure_cmd =
+  let num =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Figure number, 1-5.")
+  in
+  let dir =
+    Arg.(value & opt string "out" & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Output directory for SVG.")
+  in
+  let run n dir =
+    let fig =
+      match n with
+      | 1 -> Ok (Render.Figures.fig1_lattices ())
+      | 2 -> Ok (Render.Figures.fig2_neighborhoods ())
+      | 3 -> Ok (Render.Figures.fig3_schedule ())
+      | 4 -> Ok (Render.Figures.fig4_voronoi ())
+      | 5 -> Ok (Render.Figures.fig5_nonrespectable ())
+      | _ -> Error (`Msg "figure number must be 1-5")
+    in
+    Result.map
+      (fun f ->
+        print_endline f.Render.Figures.ascii;
+        Render.Figures.save_all ~dir [ f ];
+        Printf.printf "\n[saved %s/%s.svg]\n" dir f.Render.Figures.name)
+      fig
+  in
+  let term = Term.(term_result (const run $ num $ dir)) in
+  Cmd.v (Cmd.info "figure" ~doc:"Regenerate a figure of the paper.") term
+
+(* ---------- exact ---------- *)
+
+let exact_cmd =
+  let run tile =
+    Printf.printf "prototile (m = %d):\n%s\n\n" (Prototile.size tile) (Render.Ascii.prototile tile);
+    if Prototile.dim tile = 2 && Polyomino.is_polyomino tile then begin
+      let w = Polyomino.boundary_word tile in
+      Printf.printf "boundary word: %s (length %d)\n" w (String.length w);
+      match Boundary_word.find_factorization w with
+      | Some f ->
+        let x1, x2, x3 = Boundary_word.factor_words w f in
+        Printf.printf "BN factorization: X1=%s X2=%s X3=%s -> EXACT (%s)\n" x1 x2
+          (if x3 = "" then "-" else x3)
+          (if f.Boundary_word.len3 = 0 then "pseudo-square" else "pseudo-hexagon");
+        let v1, v2 = Boundary_word.translation_vectors w f in
+        Printf.printf "tiling translation vectors: %s, %s\n" (Zgeom.Vec.to_string v1)
+          (Zgeom.Vec.to_string v2)
+      | None -> Printf.printf "no BN factorization -> NOT exact (cannot tile by translations)\n"
+    end
+    else begin
+      match Tiling.Search.exactness tile with
+      | `Exact -> print_endline "EXACT (tiling found by search)"
+      | `NotExact -> print_endline "NOT exact"
+      | `Unknown -> print_endline "UNKNOWN (bounded search exhausted; not a polyomino)"
+    end
+  in
+  Cmd.v
+    (Cmd.info "exact" ~doc:"Decide whether a prototile tiles the lattice (question Q1).")
+    Term.(const run $ tile_arg)
+
+(* ---------- schedule ---------- *)
+
+let schedule_cmd =
+  let run tile width height =
+    match Tiling.Search.find_tiling tile with
+    | None ->
+      Error (`Msg "prototile admits no (discovered) tiling; no schedule of this form exists")
+    | Some tiling ->
+      let sched = Core.Schedule.of_tiling tiling in
+      Printf.printf "prototile (m = %d):\n%s\n\n" (Prototile.size tile)
+        (Render.Ascii.prototile tile);
+      Format.printf "%a@.@." Tiling.Single.pp tiling;
+      Printf.printf "schedule (%d slots):\n%s\n\n" (Core.Schedule.num_slots sched)
+        (Render.Ascii.schedule sched ~width ~height);
+      let ok = Core.Collision.is_collision_free_theorem1 tiling sched in
+      Printf.printf "verified collision-free: %b; optimal (lower bound %d)\n" ok
+        (Core.Optimality.lower_bound tile);
+      Ok ()
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Construct and verify an optimal schedule (Theorem 1).")
+    Term.(term_result (const run $ tile_arg $ width_arg $ height_arg))
+
+(* ---------- color ---------- *)
+
+let color_cmd =
+  let run tile width height =
+    let g, _ = Coloring.Graph.lattice_window ~prototile:tile ~width ~height in
+    let rng = Prng.Xoshiro.create 7L in
+    Printf.printf "%d sensors, %d conflict edges\n\n" (Coloring.Graph.size g)
+      (Coloring.Graph.num_edges g);
+    Printf.printf "  naive TDMA       : %d slots\n" (Coloring.Baseline.tdma_slots g);
+    Printf.printf "  greedy (natural) : %d\n" (Coloring.Greedy.colors_used g `Natural);
+    Printf.printf "  greedy (random)  : %d\n" (Coloring.Greedy.colors_used g (`Random rng));
+    Printf.printf "  Welsh-Powell     : %d\n" (Coloring.Greedy.colors_used g `LargestFirst);
+    Printf.printf "  DSATUR           : %d\n" (Coloring.Dsatur.colors_used g);
+    Printf.printf "  annealing        : %d\n" (Coloring.Annealing.min_colors rng g);
+    Printf.printf "  tabu search      : %d\n" (Coloring.Tabucol.min_colors rng g);
+    Printf.printf "  lattice tiling   : %d (optimal for the infinite lattice)\n"
+      (Coloring.Baseline.tiling_slot_count tile)
+  in
+  Cmd.v
+    (Cmd.info "color" ~doc:"Compare against distance-2 coloring baselines.")
+    Term.(const run $ tile_arg $ width_arg $ height_arg)
+
+(* ---------- simulate ---------- *)
+
+let simulate_cmd =
+  let mac_arg =
+    Arg.(
+      value
+      & opt (enum [ ("lattice", `Lattice); ("tdma", `Tdma); ("aloha", `Aloha); ("csma", `Csma) ])
+          `Lattice
+      & info [ "m"; "mac" ] ~docv:"MAC" ~doc:"MAC protocol: lattice, tdma, aloha, csma.")
+  in
+  let duration_arg =
+    Arg.(value & opt int 4000 & info [ "duration" ] ~docv:"SLOTS" ~doc:"Simulated slots.")
+  in
+  let interval_arg =
+    Arg.(value & opt int 50 & info [ "interval" ] ~docv:"SLOTS" ~doc:"Packet every N slots per node.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let timeline_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "timeline" ] ~docv:"N"
+          ~doc:"Also print per-slot timelines of the first N nodes (80 slots).")
+  in
+  let run tile width height mac duration interval seed timeline =
+    let mac_factory =
+      match mac with
+      | `Lattice -> (
+        match Tiling.Search.find_tiling tile with
+        | Some t -> Ok (Netsim.Mac.lattice_tdma (Core.Schedule.of_tiling t))
+        | None -> Error (`Msg "prototile admits no tiling; use another MAC"))
+      | `Tdma -> Ok (Netsim.Mac.full_tdma ~num_nodes:(width * height))
+      | `Aloha -> Ok (Netsim.Mac.slotted_aloha ~p:0.2 ~max_backoff_exp:6)
+      | `Csma -> Ok (Netsim.Mac.p_csma ~p:0.3)
+    in
+    Result.map
+      (fun mac ->
+        let tr = if timeline > 0 then Some (Netsim.Trace.create ()) else None in
+        let r =
+          Netsim.Sim.run
+            { (Netsim.Sim.default_config ~mac) with width; height; prototile = tile; duration;
+              workload = Netsim.Workload.Periodic { interval }; seed = Int64.of_int seed;
+              trace = tr }
+        in
+        Format.printf "%a@." Netsim.Sim.pp_result r;
+        match tr with
+        | None -> ()
+        | Some tr ->
+          Printf.printf
+            "\ntimelines ('a' arrival, 'D' delivered, 'C' collided, '.' idle), slots 0-79:\n";
+          for node = 0 to min timeline (width * height) - 1 do
+            Printf.printf "node %3d  %s\n" node
+              (Netsim.Trace.timeline tr ~node ~horizon:(min 80 duration))
+          done)
+      mac_factory
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the slotted wireless simulator.")
+    Term.(
+      term_result
+        (const run $ tile_arg $ width_arg $ height_arg $ mac_arg $ duration_arg $ interval_arg
+       $ seed_arg $ timeline_arg))
+
+(* ---------- certify ---------- *)
+
+let certify_cmd =
+  let run tile =
+    match Tiling.Search.find_tiling tile with
+    | None -> Error (`Msg "prototile admits no tiling")
+    | Some tiling ->
+      let cert = Core.Certificate.build tiling in
+      print_endline (Core.Certificate.to_string cert);
+      (match Core.Certificate.check cert with
+      | Ok () ->
+        Printf.eprintf "certificate verified: %d slots, collision-free, optimal\n"
+          (Core.Schedule.num_slots cert.Core.Certificate.schedule);
+        Ok ()
+      | Error f -> Error (`Msg (Format.asprintf "%a" Core.Certificate.pp_failure f)))
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:"Emit a machine-checkable optimality certificate for a prototile's schedule.")
+    Term.(term_result (const run $ tile_arg))
+
+(* ---------- export ---------- *)
+
+let export_cmd =
+  let fmt_arg =
+    Arg.(
+      value
+      & opt (enum [ ("record", `Record); ("csv", `Csv) ]) `Record
+      & info [ "f"; "format" ] ~docv:"FMT"
+          ~doc:"Output format: record (parsable schedule line) or csv (per-sensor slots).")
+  in
+  let run tile width height fmt =
+    match Tiling.Search.find_tiling tile with
+    | None -> Error (`Msg "prototile admits no tiling")
+    | Some tiling ->
+      let sched = Core.Schedule.of_tiling tiling in
+      (match fmt with
+      | `Record ->
+        print_endline (Core.Codec.tiling_to_string tiling);
+        print_endline (Core.Codec.schedule_to_string sched)
+      | `Csv ->
+        let domain =
+          List.concat_map
+            (fun x -> List.init height (fun y -> Zgeom.Vec.make2 x y))
+            (List.init width Fun.id)
+        in
+        print_string (Core.Codec.csv_assignment sched ~domain));
+      Ok ()
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Serialize a schedule for deployment tooling.")
+    Term.(term_result (const run $ tile_arg $ width_arg $ height_arg $ fmt_arg))
+
+(* ---------- sync ---------- *)
+
+let sync_cmd =
+  let resync_arg =
+    Arg.(value & opt int 1000 & info [ "resync" ] ~docv:"SLOTS" ~doc:"Resync period (0 = never).")
+  in
+  let drift_arg =
+    Arg.(value & opt float 500.0 & info [ "drift" ] ~docv:"PPM" ~doc:"Clock drift bound (ppm).")
+  in
+  let duration_arg =
+    Arg.(value & opt int 20000 & info [ "duration" ] ~docv:"SLOTS" ~doc:"Simulated slots.")
+  in
+  let run tile width height resync drift duration =
+    match Tiling.Search.find_tiling tile with
+    | None -> Error (`Msg "prototile admits no tiling")
+    | Some tiling ->
+      let schedule = Core.Schedule.of_tiling tiling in
+      let r =
+        Netsim.Timesync.run
+          { width; height; prototile = tile; schedule;
+            root = Zgeom.Vec.make2 (width / 2) (height / 2); resync_period = resync;
+            drift_ppm = drift; hop_jitter = 0.02; duration; seed = 9L }
+      in
+      Printf.printf "sync latency       : %d slots\n" r.Netsim.Timesync.sync_latency;
+      Printf.printf "max clock error    : %.3f slots\n" r.Netsim.Timesync.max_clock_error;
+      Printf.printf "mean clock error   : %.3f slots\n" r.Netsim.Timesync.mean_clock_error;
+      Printf.printf "schedule violations: %d\n" r.Netsim.Timesync.tdma_violations;
+      Printf.printf "beacons sent       : %d\n" r.Netsim.Timesync.beacons_sent;
+      Ok ()
+  in
+  Cmd.v
+    (Cmd.info "sync" ~doc:"Simulate beacon-flooding time synchronization.")
+    Term.(
+      term_result
+        (const run $ tile_arg $ width_arg $ height_arg $ resync_arg $ drift_arg $ duration_arg))
+
+let () =
+  let doc = "Collision-free sensor scheduling by lattice tilings (Klappenecker-Lee-Welch 2008)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "tilesched" ~version:"1.0.0" ~doc)
+          [ figure_cmd; exact_cmd; schedule_cmd; color_cmd; simulate_cmd; export_cmd; sync_cmd;
+            certify_cmd ]))

@@ -1,0 +1,1 @@
+examples/directional_antenna.ml: Core Fun Hashtbl Lattice List Option Printf Prototile Render Tiling Vec Zgeom

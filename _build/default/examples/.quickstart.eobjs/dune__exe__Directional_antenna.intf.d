@@ -1,0 +1,1 @@
+examples/directional_antenna.mli:

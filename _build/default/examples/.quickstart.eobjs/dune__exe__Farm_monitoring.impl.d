@@ -1,0 +1,1 @@
+examples/farm_monitoring.ml: Core Lattice List Netsim Printf Prototile Tiling

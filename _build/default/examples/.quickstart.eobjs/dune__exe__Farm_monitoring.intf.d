@@ -1,0 +1,1 @@
+examples/farm_monitoring.mli:

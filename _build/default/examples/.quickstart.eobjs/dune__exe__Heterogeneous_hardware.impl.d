@@ -1,0 +1,1 @@
+examples/heterogeneous_hardware.ml: Array Core Format Lattice Netsim Printf Prototile Render Tiling Zgeom

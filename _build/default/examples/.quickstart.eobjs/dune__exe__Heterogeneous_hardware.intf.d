@@ -1,0 +1,1 @@
+examples/heterogeneous_hardware.mli:

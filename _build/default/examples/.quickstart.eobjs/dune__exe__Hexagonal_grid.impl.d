@@ -1,0 +1,1 @@
+examples/hexagonal_grid.ml: Core Embedding Lattice List Printf Prototile Render Tiling Zgeom

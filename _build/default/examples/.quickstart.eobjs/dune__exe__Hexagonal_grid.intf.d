@@ -1,0 +1,1 @@
+examples/hexagonal_grid.mli:

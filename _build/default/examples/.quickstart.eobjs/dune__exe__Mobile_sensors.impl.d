@@ -1,0 +1,1 @@
+examples/mobile_sensors.ml: Core Lattice List Netsim Printf Prototile Render Sublattice Tiling Zgeom

@@ -1,0 +1,1 @@
+examples/mobile_sensors.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Coloring Core Format Lattice Printf Prototile Render Tiling Zgeom

@@ -1,0 +1,1 @@
+examples/tetromino_nonrespectable.ml: Core Hashtbl Lattice List Option Printf Prototile Render Stdlib Sublattice Tiling

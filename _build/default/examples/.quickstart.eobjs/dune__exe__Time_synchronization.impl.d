@@ -1,0 +1,1 @@
+examples/time_synchronization.ml: Core Lattice List Netsim Option Printf Prototile Tiling Zgeom

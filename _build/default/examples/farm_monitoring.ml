@@ -1,0 +1,53 @@
+(* End-to-end scenario: a field of soil sensors.
+
+   A 20x20 grid of sensors reports a reading every 60 slots; each radio
+   interferes within Chebyshev distance 1.  We run the same workload
+   under four MAC protocols and compare delivery, collisions, latency and
+   energy - the quantified version of the paper's introduction: random
+   access wastes energy on collisions, naive TDMA does not scale, the
+   lattice schedule gives zero collisions with a 9-slot period forever.
+
+   Run with: dune exec examples/farm_monitoring.exe *)
+
+open Lattice
+
+let () =
+  let prototile = Prototile.chebyshev_ball ~dim:2 1 in
+  let tiling =
+    match Tiling.Search.find_tiling prototile with
+    | Some t -> t
+    | None -> assert false
+  in
+  let schedule = Core.Schedule.of_tiling tiling in
+  let width = 20 and height = 20 in
+  let duration = 6000 in
+  let workload = Netsim.Workload.Periodic { interval = 60 } in
+
+  let run mac =
+    Netsim.Sim.run
+      { (Netsim.Sim.default_config ~mac) with width; height; prototile; duration; workload;
+        seed = 2026L }
+  in
+  let protocols =
+    [ Netsim.Mac.lattice_tdma schedule;
+      Netsim.Mac.full_tdma ~num_nodes:(width * height);
+      Netsim.Mac.slotted_aloha ~p:0.15 ~max_backoff_exp:6;
+      Netsim.Mac.p_csma ~p:0.25 ]
+  in
+
+  Printf.printf "%-16s %9s %9s %10s %9s %9s %11s\n" "protocol" "attempts" "delivered" "collisions"
+    "delivery" "lat(mean)" "energy/del";
+  List.iter
+    (fun mac ->
+      let r = run mac in
+      assert (Netsim.Sim.conservation_ok r);
+      let s = r.Netsim.Sim.stats in
+      Printf.printf "%-16s %9d %9d %10d %8.1f%% %9.1f %11.2f\n" r.Netsim.Sim.mac_name
+        s.Netsim.Stats.attempts s.Netsim.Stats.delivered s.Netsim.Stats.collisions
+        (100.0 *. s.Netsim.Stats.delivery_ratio)
+        s.Netsim.Stats.mean_latency s.Netsim.Stats.energy_per_delivery)
+    protocols;
+
+  print_endline "\nlattice-tdma: zero collisions by Theorem 1; period 9 regardless of field size.";
+  print_endline "full-tdma: also collision-free, but its period grows with the field (400 here).";
+  print_endline "aloha/csma: contention wastes transmissions and energy as the intro warns."

@@ -1,0 +1,44 @@
+(* Mobile sensors (the paper's conclusions): assign slots to locations,
+   not to sensors.
+
+   Thirty sensors drift through a field by random waypoints.  Each lattice
+   location keeps the slot the tiling schedule gave it; a sensor may send
+   only when it sits alone inside an open Voronoi cell owning the current
+   slot AND its interference disk fits inside that cell's tile.  The run
+   demonstrates the claim that this remains collision-free under motion,
+   and measures the price: the fraction of slots in which a sensor is
+   allowed to transmit.
+
+   Run with: dune exec examples/mobile_sensors.exe *)
+
+open Lattice
+
+let () =
+  (* 2x2 square tiles, schedule period 4. *)
+  let prototile = Prototile.rect 2 2 in
+  let tiling =
+    Tiling.Single.make_exn ~prototile
+      ~period:(Sublattice.of_basis [| [| 2; 0 |]; [| 0; 2 |] |])
+      ~offsets:[ Zgeom.Vec.zero 2 ]
+  in
+  Printf.printf "location schedule (slot per lattice point):\n%s\n\n"
+    (Render.Ascii.schedule (Core.Schedule.of_tiling tiling) ~width:10 ~height:6);
+
+  (* Sweep the interference radius: larger radii fit the tile less often,
+     so eligibility drops; collisions stay at zero throughout. *)
+  Printf.printf "%8s  %10s  %10s  %12s  %10s\n" "radius" "attempts" "delivered" "eligible-frac"
+    "collisions";
+  List.iter
+    (fun radius ->
+      let r =
+        Netsim.Mobile_sim.run
+          { tiling; arena_width = 10.0; num_sensors = 30; radius; speed = 0.25; pause = 3;
+            send_interval = 8; duration = 2000; seed = 11L }
+      in
+      Printf.printf "%8.2f  %10d  %10d  %12.3f  %10d\n" radius r.Netsim.Mobile_sim.attempts
+        r.Netsim.Mobile_sim.deliveries r.Netsim.Mobile_sim.eligible_slot_fraction
+        r.Netsim.Mobile_sim.collisions;
+      assert (r.Netsim.Mobile_sim.collisions = 0))
+    [ 0.2; 0.4; 0.6; 0.8; 1.0 ];
+
+  print_endline "\nzero collisions at every radius: the location schedule is motion-proof."

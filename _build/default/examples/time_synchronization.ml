@@ -1,0 +1,43 @@
+(* Where does the shared clock come from?
+
+   The paper assumes "the sensors have access to the current time".
+   This example runs the substrate behind that assumption: a root floods
+   periodic beacons, staggered by the lattice schedule itself so the
+   flood is collision-free; nodes adopt beacon timestamps (with per-hop
+   jitter) and drift between waves.  We sweep the resynchronization
+   period and watch the residual clock error turn into real schedule
+   violations once it crosses half a slot.
+
+   Run with: dune exec examples/time_synchronization.exe *)
+
+open Lattice
+
+let () =
+  let prototile = Prototile.chebyshev_ball ~dim:2 1 in
+  let tiling = Option.get (Tiling.Search.find_tiling prototile) in
+  let schedule = Core.Schedule.of_tiling tiling in
+  let base resync =
+    { Netsim.Timesync.width = 12; height = 12; prototile; schedule;
+      root = Zgeom.Vec.make2 6 6; resync_period = resync; drift_ppm = 500.0; hop_jitter = 0.02;
+      duration = 20_000; seed = 9L }
+  in
+  Printf.printf "12x12 grid, drift +-500 ppm, hop jitter +-0.02 slots, 20000 slots\n\n";
+  Printf.printf "%-14s %12s %12s %14s %12s\n" "resync-period" "max-err" "mean-err" "violations"
+    "beacons";
+  List.iter
+    (fun resync ->
+      let r = Netsim.Timesync.run (base resync) in
+      let err v = if resync = 0 then "n/a" else Printf.sprintf "%.3f" v in
+      Printf.printf "%-14s %12s %12s %14d %12d\n"
+        (if resync = 0 then "never" else string_of_int resync)
+        (err r.Netsim.Timesync.max_clock_error)
+        (err r.Netsim.Timesync.mean_clock_error)
+        r.Netsim.Timesync.tdma_violations r.Netsim.Timesync.beacons_sent)
+    [ 500; 1000; 2000; 4000; 0 ];
+  let r = Netsim.Timesync.run (base 1000) in
+  Printf.printf "\nfirst wave reached every node after %d slots.\n" r.Netsim.Timesync.sync_latency;
+  Printf.printf
+    "\nwhile resync keeps the worst clock error below half a slot, the schedule\n\
+     stays collision-free; without resync, drift accumulates and violations appear -\n\
+     quantifying exactly how much the paper's 'access to current time' assumption\n\
+     is doing.\n"

@@ -1,0 +1,1 @@
+lib/coloring/annealing.ml: Array Dsatur Graph List Prng

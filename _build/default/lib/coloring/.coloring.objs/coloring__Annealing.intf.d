@@ -1,0 +1,1 @@
+lib/coloring/annealing.mli: Graph Prng

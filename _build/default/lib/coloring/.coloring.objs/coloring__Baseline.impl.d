@@ -1,0 +1,1 @@
+lib/coloring/baseline.ml: Array Core Fun Graph Lattice

@@ -1,0 +1,1 @@
+lib/coloring/baseline.mli: Graph Lattice

@@ -1,0 +1,1 @@
+lib/coloring/dsatur.ml: Array Graph Int List Set

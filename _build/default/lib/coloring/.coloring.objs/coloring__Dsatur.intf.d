@@ -1,0 +1,1 @@
+lib/coloring/dsatur.mli: Graph

@@ -1,0 +1,1 @@
+lib/coloring/graph.ml: Array Hashtbl Int Lattice Prototile Set Vec Zgeom

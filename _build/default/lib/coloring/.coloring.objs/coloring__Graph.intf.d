@@ -1,0 +1,1 @@
+lib/coloring/graph.mli: Lattice Zgeom

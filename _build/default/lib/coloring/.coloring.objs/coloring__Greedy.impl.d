@@ -1,0 +1,1 @@
+lib/coloring/greedy.ml: Array Fun Graph List Prng Stdlib

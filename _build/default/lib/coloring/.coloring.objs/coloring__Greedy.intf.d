@@ -1,0 +1,1 @@
+lib/coloring/greedy.mli: Graph Prng

@@ -1,0 +1,1 @@
+lib/coloring/tabucol.ml: Array Dsatur Graph List Prng

@@ -1,0 +1,1 @@
+lib/coloring/tabucol.mli: Graph Prng

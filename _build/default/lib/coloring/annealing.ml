@@ -1,0 +1,57 @@
+type params = {
+  initial_temp : float;
+  cooling : float;
+  sweeps : int;
+  moves_per_sweep : int;
+}
+
+let default_params = { initial_temp = 2.0; cooling = 0.92; sweeps = 60; moves_per_sweep = 400 }
+
+(* Conflicts incident to v under [colors] if v had color c. *)
+let local_conflicts g colors v c =
+  List.fold_left (fun acc u -> if colors.(u) = c then acc + 1 else acc) 0 (Graph.neighbors g v)
+
+let solve_k ?(params = default_params) rng g k =
+  if k <= 0 then None
+  else begin
+    let n = Graph.size g in
+    let colors = Array.init n (fun _ -> Prng.Xoshiro.int rng k) in
+    let energy = ref (Graph.conflict_edges g colors) in
+    let best = Array.copy colors in
+    let best_energy = ref !energy in
+    let temp = ref params.initial_temp in
+    (try
+       for _sweep = 1 to params.sweeps do
+         for _move = 1 to params.moves_per_sweep do
+           if !energy = 0 then raise Exit;
+           let v = Prng.Xoshiro.int rng n in
+           let c = Prng.Xoshiro.int rng k in
+           if c <> colors.(v) then begin
+             let delta = local_conflicts g colors v c - local_conflicts g colors v colors.(v) in
+             if delta <= 0 || Prng.Xoshiro.float rng 1.0 < exp (-.float_of_int delta /. !temp)
+             then begin
+               colors.(v) <- c;
+               energy := !energy + delta;
+               if !energy < !best_energy then begin
+                 best_energy := !energy;
+                 Array.blit colors 0 best 0 n
+               end
+             end
+           end
+         done;
+         temp := !temp *. params.cooling
+       done
+     with Exit -> ());
+    if !energy = 0 then Some colors else if !best_energy = 0 then Some best else None
+  end
+
+let min_colors ?(params = default_params) rng g =
+  let start = Dsatur.colors_used g in
+  let rec descend k best =
+    if k < 1 then best
+    else
+      match solve_k ~params rng g k with
+      | Some _ -> descend (k - 1) k
+      | None -> best
+  in
+  descend (start - 1) start

@@ -1,0 +1,24 @@
+(** Simulated annealing for broadcast scheduling.
+
+    Stands in for the mean-field-annealing (Wang-Ansari 1997) and
+    neural-network (Shi-Wang 2005) heuristics the paper cites: fix a slot
+    count [k], minimize the number of conflicting edges by random
+    recoloring with a geometric cooling schedule, and lower [k] while a
+    zero-conflict solution is found. *)
+
+type params = {
+  initial_temp : float;
+  cooling : float;  (** multiplier per sweep, e.g. 0.95 *)
+  sweeps : int;  (** temperature steps *)
+  moves_per_sweep : int;
+}
+
+val default_params : params
+
+val solve_k : ?params:params -> Prng.Xoshiro.t -> Graph.t -> int -> int array option
+(** A zero-conflict coloring with at most [k] colors, if annealing finds
+    one. *)
+
+val min_colors : ?params:params -> Prng.Xoshiro.t -> Graph.t -> int
+(** Start from a DSATUR solution and decrease [k] until annealing fails;
+    returns the best (smallest) successful [k]. *)

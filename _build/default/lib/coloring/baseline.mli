@@ -1,0 +1,19 @@
+(** The remaining reference points of the paper's introduction.
+
+    - Plain TDMA gives every sensor its own slot: period [k] for [k]
+      sensors - correct but "does not scale" (the intro's complaint).
+    - The exact chromatic number (branch and bound, small instances only)
+      certifies heuristic quality.
+    - [tiling_slot_count] is the paper's answer: [|N|], independent of
+      the deployment size. *)
+
+val tdma_slots : Graph.t -> int
+(** [= Graph.size]: one slot per sensor. *)
+
+val tdma_coloring : Graph.t -> int array
+
+val exact_min_colors : Graph.t -> int
+(** Exact chromatic number (exponential; keep graphs small). *)
+
+val tiling_slot_count : Lattice.Prototile.t -> int
+(** [|N|]: the slot count of the tiling schedule, for any field size. *)

@@ -1,0 +1,29 @@
+module IntSet = Set.Make (Int)
+
+let color g =
+  let n = Graph.size g in
+  let colors = Array.make n (-1) in
+  let sat = Array.make n IntSet.empty in
+  for _ = 1 to n do
+    (* Highest saturation, ties by degree. *)
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if colors.(v) < 0 then
+        if !best < 0
+           || IntSet.cardinal sat.(v) > IntSet.cardinal sat.(!best)
+           || (IntSet.cardinal sat.(v) = IntSet.cardinal sat.(!best)
+              && Graph.degree g v > Graph.degree g !best)
+        then best := v
+    done;
+    let v = !best in
+    let c = ref 0 in
+    while IntSet.mem !c sat.(v) do
+      incr c
+    done;
+    colors.(v) <- !c;
+    List.iter (fun u -> sat.(u) <- IntSet.add !c sat.(u)) (Graph.neighbors g v)
+  done;
+  assert (Graph.is_proper g colors);
+  colors
+
+let colors_used g = Graph.num_colors (color g)

@@ -1,0 +1,7 @@
+(** DSATUR (Brelaz 1979): color next the vertex with the most distinct
+    colors among its neighbors (highest saturation), breaking ties by
+    degree.  A strong general-purpose heuristic for broadcast
+    scheduling instances. *)
+
+val color : Graph.t -> int array
+val colors_used : Graph.t -> int

@@ -1,0 +1,75 @@
+open Zgeom
+open Lattice
+
+type t = { n : int; adj : bool array array; deg : int array }
+
+let of_adj adj =
+  let n = Array.length adj in
+  Array.iteri
+    (fun i row ->
+      assert (Array.length row = n);
+      assert (not row.(i));
+      Array.iteri (fun j v -> assert (v = adj.(j).(i))) row)
+    adj;
+  let deg = Array.map (fun row -> Array.fold_left (fun a b -> if b then a + 1 else a) 0 row) adj in
+  { n; adj; deg }
+
+let lattice_window ~prototile ~width ~height =
+  assert (Prototile.dim prototile = 2);
+  let sensors =
+    Array.init (width * height) (fun i -> Vec.make2 (i mod width) (i / width))
+  in
+  let diff = Prototile.difference_set prototile in
+  let n = Array.length sensors in
+  let adj = Array.make_matrix n n false in
+  let index_of = Hashtbl.create n in
+  Array.iteri (fun i v -> Hashtbl.add index_of v i) sensors;
+  Array.iteri
+    (fun i v ->
+      Vec.Set.iter
+        (fun d ->
+          if not (Vec.is_zero d) then
+            match Hashtbl.find_opt index_of (Vec.add v d) with
+            | Some j -> adj.(i).(j) <- true
+            | None -> ())
+        diff)
+    sensors;
+  (of_adj adj, sensors)
+
+let size g = g.n
+let adj g = g.adj
+let degree g v = g.deg.(v)
+let max_degree g = Array.fold_left max 0 g.deg
+let num_edges g = Array.fold_left ( + ) 0 g.deg / 2
+
+let neighbors g v =
+  let out = ref [] in
+  for u = g.n - 1 downto 0 do
+    if g.adj.(v).(u) then out := u :: !out
+  done;
+  !out
+
+let is_proper g colors =
+  Array.length colors = g.n
+  && Array.for_all (fun c -> c >= 0) colors
+  &&
+  let ok = ref true in
+  for i = 0 to g.n - 1 do
+    for j = i + 1 to g.n - 1 do
+      if g.adj.(i).(j) && colors.(i) = colors.(j) then ok := false
+    done
+  done;
+  !ok
+
+let num_colors colors =
+  let module S = Set.Make (Int) in
+  S.cardinal (Array.fold_left (fun s c -> S.add c s) S.empty colors)
+
+let conflict_edges g colors =
+  let bad = ref 0 in
+  for i = 0 to g.n - 1 do
+    for j = i + 1 to g.n - 1 do
+      if g.adj.(i).(j) && colors.(i) = colors.(j) then incr bad
+    done
+  done;
+  !bad

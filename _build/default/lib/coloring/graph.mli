@@ -1,0 +1,36 @@
+(** Conflict graphs for broadcast scheduling.
+
+    The paper reduces collision-free scheduling to distance-2 coloring of
+    the communication graph; equivalently, to ordinary coloring of the
+    {e conflict graph} in which two sensors are adjacent iff their
+    interference ranges intersect.  This module materializes that graph
+    for finite deployments so the classical baselines (greedy heuristics,
+    DSATUR, simulated annealing, exact search) can be compared against
+    the tiling schedule. *)
+
+type t
+
+val of_adj : bool array array -> t
+(** Takes an adjacency matrix (must be symmetric, irreflexive). *)
+
+val lattice_window :
+  prototile:Lattice.Prototile.t -> width:int -> height:int -> t * Zgeom.Vec.t array
+(** Conflict graph of the sensors in a [width x height] 2-D grid, all with
+    the given neighborhood; returns the graph and the position of each
+    vertex. *)
+
+val size : t -> int
+val adj : t -> bool array array
+val degree : t -> int -> int
+val max_degree : t -> int
+val num_edges : t -> int
+val neighbors : t -> int -> int list
+
+val is_proper : t -> int array -> bool
+(** No edge joins equal colors; every vertex colored (>= 0). *)
+
+val num_colors : int array -> int
+(** Number of distinct colors used. *)
+
+val conflict_edges : t -> int array -> int
+(** Edges whose endpoints share a color (annealing's energy). *)

@@ -1,0 +1,32 @@
+type order = [ `Natural | `Random of Prng.Xoshiro.t | `LargestFirst ]
+
+let ordering g = function
+  | `Natural -> Array.init (Graph.size g) Fun.id
+  | `Random rng ->
+    let a = Array.init (Graph.size g) Fun.id in
+    Prng.Xoshiro.shuffle rng a;
+    a
+  | `LargestFirst ->
+    let a = Array.init (Graph.size g) Fun.id in
+    Array.sort (fun u v -> Stdlib.compare (Graph.degree g v) (Graph.degree g u)) a;
+    a
+
+let color g order =
+  let n = Graph.size g in
+  let colors = Array.make n (-1) in
+  let forbidden = Array.make (n + 1) (-1) in
+  Array.iter
+    (fun v ->
+      List.iter
+        (fun u -> if colors.(u) >= 0 then forbidden.(colors.(u)) <- v)
+        (Graph.neighbors g v);
+      let c = ref 0 in
+      while forbidden.(!c) = v do
+        incr c
+      done;
+      colors.(v) <- !c)
+    (ordering g order);
+  assert (Graph.is_proper g colors);
+  colors
+
+let colors_used g order = Graph.num_colors (color g order)

@@ -1,0 +1,16 @@
+(** Sequential (greedy) coloring heuristics.
+
+    Each vertex, in some order, takes the smallest color unused by its
+    already-colored neighbors.  Uses at most [max_degree + 1] colors; the
+    order is the whole heuristic:
+
+    - [`Natural]: index order (row-major scan of a window),
+    - [`Random]: uniformly random permutation,
+    - [`LargestFirst]: non-increasing degree (Welsh-Powell). *)
+
+type order = [ `Natural | `Random of Prng.Xoshiro.t | `LargestFirst ]
+
+val color : Graph.t -> order -> int array
+(** A proper coloring (checked by assertion). *)
+
+val colors_used : Graph.t -> order -> int

@@ -1,0 +1,84 @@
+type params = { max_iters : int; tenure_base : int }
+
+let default_params = { max_iters = 20_000; tenure_base = 7 }
+
+let solve_k ?(params = default_params) rng g k =
+  if k <= 0 then None
+  else begin
+    let n = Graph.size g in
+    let colors = Array.init n (fun _ -> Prng.Xoshiro.int rng k) in
+    (* conflicts.(v).(c): neighbours of v currently coloured c. *)
+    let conflicts = Array.make_matrix n k 0 in
+    for v = 0 to n - 1 do
+      List.iter (fun u -> conflicts.(v).(colors.(u)) <- conflicts.(v).(colors.(u)) + 1) (Graph.neighbors g v)
+    done;
+    let energy = ref (Graph.conflict_edges g colors) in
+    let best_energy = ref !energy in
+    let tabu = Array.make_matrix n k 0 in
+    let iter = ref 0 in
+    while !energy > 0 && !iter < params.max_iters do
+      incr iter;
+      (* Best non-tabu move among conflicted vertices (aspiration: a move
+         reaching a new global best is always allowed). *)
+      let bv = ref (-1) and bc = ref (-1) and bdelta = ref max_int in
+      for v = 0 to n - 1 do
+        if conflicts.(v).(colors.(v)) > 0 then
+          for c = 0 to k - 1 do
+            if c <> colors.(v) then begin
+              let delta = conflicts.(v).(c) - conflicts.(v).(colors.(v)) in
+              let allowed =
+                tabu.(v).(c) < !iter || !energy + delta < !best_energy
+              in
+              if allowed
+                 && (delta < !bdelta
+                    || (delta = !bdelta && Prng.Xoshiro.bool rng))
+              then begin
+                bv := v;
+                bc := c;
+                bdelta := delta
+              end
+            end
+          done
+      done;
+      if !bv >= 0 then begin
+        let v = !bv and c = !bc in
+        let old = colors.(v) in
+        colors.(v) <- c;
+        List.iter
+          (fun u ->
+            conflicts.(u).(old) <- conflicts.(u).(old) - 1;
+            conflicts.(u).(c) <- conflicts.(u).(c) + 1)
+          (Graph.neighbors g v);
+        energy := !energy + !bdelta;
+        if !energy < !best_energy then best_energy := !energy;
+        (* Forbid moving v back to its old color for a while. *)
+        tabu.(v).(old) <- !iter + params.tenure_base + (!energy / 10)
+      end
+      else
+        (* Everything tabu: random restart kick. *)
+        let v = Prng.Xoshiro.int rng n in
+        let c = Prng.Xoshiro.int rng k in
+        let old = colors.(v) in
+        if c <> old then begin
+          colors.(v) <- c;
+          List.iter
+            (fun u ->
+              conflicts.(u).(old) <- conflicts.(u).(old) - 1;
+              conflicts.(u).(c) <- conflicts.(u).(c) + 1)
+            (Graph.neighbors g v);
+          energy := Graph.conflict_edges g colors
+        end
+    done;
+    if !energy = 0 then Some colors else None
+  end
+
+let min_colors ?(params = default_params) rng g =
+  let start = Dsatur.colors_used g in
+  let rec descend k best =
+    if k < 1 then best
+    else
+      match solve_k ~params rng g k with
+      | Some _ -> descend (k - 1) k
+      | None -> best
+  in
+  descend (start - 1) start

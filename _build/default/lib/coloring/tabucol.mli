@@ -1,0 +1,21 @@
+(** TabuCol (Hertz & de Werra 1987): tabu search for graph coloring.
+
+    Like {!Annealing}, a stand-in for the local-search heuristics the
+    broadcast-scheduling literature applies to distance-2 coloring.  With
+    [k] colors fixed, repeatedly move the (vertex, color) pair that most
+    reduces the number of conflicting edges, forbidding the reversal of a
+    move for a short adaptive tenure; aspiration overrides the tabu when
+    a move reaches a new best. *)
+
+type params = {
+  max_iters : int;
+  tenure_base : int;  (** tabu tenure = tenure_base + conflicts/10 *)
+}
+
+val default_params : params
+
+val solve_k : ?params:params -> Prng.Xoshiro.t -> Graph.t -> int -> int array option
+(** A conflict-free [k]-coloring if found within the iteration budget. *)
+
+val min_colors : ?params:params -> Prng.Xoshiro.t -> Graph.t -> int
+(** Descend from a DSATUR solution; smallest [k] tabu search certifies. *)

@@ -1,0 +1,1 @@
+lib/core/certificate.ml: Codec Collision Format Lattice List Prototile Result Schedule String Tiling Vec Zgeom

@@ -1,0 +1,1 @@
+lib/core/certificate.mli: Collision Format Lattice Schedule Tiling Zgeom

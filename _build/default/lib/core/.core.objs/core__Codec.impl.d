@@ -1,0 +1,1 @@
+lib/core/codec.ml: Array Buffer Lattice List Printf Prototile Result Schedule String Sublattice Tiling Vec Zgeom

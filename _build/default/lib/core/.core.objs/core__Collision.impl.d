@@ -1,0 +1,1 @@
+lib/core/collision.ml: Array Format Lattice List Prototile Schedule Sublattice Tiling Vec Zgeom

@@ -1,0 +1,1 @@
+lib/core/collision.mli: Format Lattice Schedule Tiling Zgeom

@@ -1,0 +1,1 @@
+lib/core/finite.ml: Array Int Lattice List Optimality Prototile Schedule Set Tiling Vec Zgeom

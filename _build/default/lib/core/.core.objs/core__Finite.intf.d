@@ -1,0 +1,1 @@
+lib/core/finite.mli: Lattice Tiling Zgeom

@@ -1,0 +1,1 @@
+lib/core/mobile.ml: Float Lattice List Prototile Schedule Tiling Voronoi

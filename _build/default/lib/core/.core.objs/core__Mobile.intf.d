@@ -1,0 +1,1 @@
+lib/core/mobile.mli: Lattice Schedule Tiling Zgeom

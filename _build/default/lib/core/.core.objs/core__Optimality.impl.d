@@ -1,0 +1,1 @@
+lib/core/optimality.ml: Array Fun Lattice List Prototile Stdlib Sublattice Tiling Vec Zgeom

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Format Lattice List Stdlib Sublattice Tiling Vec Zgeom

@@ -1,0 +1,22 @@
+let worst_case_latency ~m =
+  assert (m > 0);
+  m - 1
+
+let mean_latency_uniform_arrival ~m =
+  assert (m > 0);
+  float_of_int (m - 1) /. 2.0
+
+let per_node_capacity ~m =
+  assert (m > 0);
+  1.0 /. float_of_int m
+
+let is_stable ~m ~interval = interval >= m
+
+let saturated_energy_per_slot p ~nodes ~model_tx ~model_rx ~model_idle =
+  let m = float_of_int (Lattice.Prototile.size p) in
+  let n = float_of_int nodes in
+  let tx = n /. m in
+  (* Ranges of simultaneous senders are disjoint, so receiver counts just
+     add up: each sender wakes |N| - 1 listeners. *)
+  let rx = tx *. (m -. 1.0) in
+  (tx *. model_tx) +. (rx *. model_rx) +. ((n -. tx -. rx) *. model_idle)

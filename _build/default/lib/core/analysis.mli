@@ -1,0 +1,34 @@
+(** Closed-form performance of tiling schedules.
+
+    Because the schedule is deterministic with period [m = |N|], its
+    performance is analysis, not measurement - and the simulator should
+    agree with the formulas (tests cross-validate):
+
+    - a packet arriving at a uniformly random slot waits
+      [mean = (m - 1) / 2] slots, never more than [m - 1];
+    - each sensor can ship one packet per period: capacity [1 / m]
+      packets/slot, so periodic traffic with interval [>= m] is stable;
+    - in a saturated collision-free schedule the interference ranges of
+      simultaneous senders are disjoint (Theorem 1's re-tiling
+      observation, Figure 3 right), so energy per slot has a closed
+      form too. *)
+
+val worst_case_latency : m:int -> int
+(** [m - 1] slots. *)
+
+val mean_latency_uniform_arrival : m:int -> float
+(** [(m - 1) / 2] slots. *)
+
+val per_node_capacity : m:int -> float
+(** Packets per slot per sensor, [1 / m]. *)
+
+val is_stable : m:int -> interval:int -> bool
+(** Periodic per-node traffic with the given interval does not build
+    queues iff [interval >= m]. *)
+
+val saturated_energy_per_slot :
+  Lattice.Prototile.t -> nodes:int -> model_tx:float -> model_rx:float -> model_idle:float -> float
+(** Expected energy per slot for a saturated field of [nodes] sensors on
+    an interior window: [nodes / m] transmit, each reaching [|N| - 1]
+    receivers with disjoint ranges, everyone else idles.  Boundary
+    effects make a finite simulation slightly cheaper. *)

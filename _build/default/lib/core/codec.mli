@@ -1,0 +1,27 @@
+(** Serialization of schedules and their ingredients.
+
+    A deployed sensor needs only three things to run the paper's
+    protocol: the period basis (HNF rows), the slot count [m], and the
+    coset-indexed slot table.  [schedule_to_string] packs exactly that
+    into one printable line; [schedule_of_string] restores it.  The
+    formats are versioned, human-readable and stable:
+
+    {v
+    tilesched/v1;dim=2;m=9;basis=3,0;0,3;table=0,1,2,3,4,5,6,7,8
+    v}
+
+    [prototile_*] and [tiling_*] round-trip the other artifacts for
+    configuration files; [csv_assignment] exports a per-sensor slot
+    table for external tooling. *)
+
+val prototile_to_string : Lattice.Prototile.t -> string
+val prototile_of_string : string -> (Lattice.Prototile.t, string) result
+
+val schedule_to_string : Schedule.t -> string
+val schedule_of_string : string -> (Schedule.t, string) result
+
+val tiling_to_string : Tiling.Single.t -> string
+val tiling_of_string : string -> (Tiling.Single.t, string) result
+
+val csv_assignment : Schedule.t -> domain:Zgeom.Vec.t list -> string
+(** One line per sensor: its coordinates then its slot, e.g. "3,4,7". *)

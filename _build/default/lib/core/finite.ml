@@ -1,0 +1,84 @@
+open Zgeom
+open Lattice
+module IntSet = Set.Make (Int)
+
+type domain = Vec.Set.t
+
+let box ~lo ~hi =
+  let d = Vec.dim lo in
+  assert (Vec.dim hi = d);
+  let rec go i prefix =
+    if i = d then [ Vec.of_list (List.rev prefix) ]
+    else
+      List.concat_map
+        (fun x -> go (i + 1) (x :: prefix))
+        (List.init (Vec.coord hi i - Vec.coord lo i + 1) (fun k -> Vec.coord lo i + k))
+  in
+  Vec.Set.of_list (go 0 [])
+
+let contains_translate dom s =
+  if Vec.Set.is_empty s then true
+  else if Vec.Set.is_empty dom then false
+  else begin
+    (* Candidate translations: align the minimum of s with each domain
+       point (sufficient: t + min(s) must land somewhere in the domain). *)
+    let smin = Vec.Set.min_elt s in
+    Vec.Set.exists
+      (fun p ->
+        let t = Vec.sub p smin in
+        Vec.Set.for_all (fun c -> Vec.Set.mem (Vec.add t c) dom) s)
+      dom
+  end
+
+let meets_optimality_criterion dom n1 =
+  contains_translate dom (Prototile.minkowski_sum n1 n1)
+
+let ranges_intersect nu u nv v =
+  Vec.Set.exists (fun a -> Vec.Set.mem (Vec.add u a) (Prototile.translate v nv)) (Prototile.cell_set nu)
+
+let conflict_adj ~neighborhood sensors =
+  let n = Array.length sensors in
+  let adj = Array.make_matrix n n false in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if ranges_intersect (neighborhood sensors.(i)) sensors.(i) (neighborhood sensors.(j)) sensors.(j)
+      then begin
+        adj.(i).(j) <- true;
+        adj.(j).(i) <- true
+      end
+    done
+  done;
+  adj
+
+let conflict_adj_witnessed ~neighborhood sensors =
+  let present = Vec.Set.of_list (Array.to_list sensors) in
+  let n = Array.length sensors in
+  let adj = Array.make_matrix n n false in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let ri = Prototile.translate sensors.(i) (neighborhood sensors.(i)) in
+      let rj = Prototile.translate sensors.(j) (neighborhood sensors.(j)) in
+      let common = Vec.Set.inter ri rj in
+      if Vec.Set.exists (fun w -> Vec.Set.mem w present) common then begin
+        adj.(i).(j) <- true;
+        adj.(j).(i) <- true
+      end
+    done
+  done;
+  adj
+
+let optimal_slots ?(witnessed = true) ~neighborhood dom =
+  let sensors = Array.of_list (Vec.Set.elements dom) in
+  let adj =
+    if witnessed then conflict_adj_witnessed ~neighborhood sensors
+    else conflict_adj ~neighborhood sensors
+  in
+  Optimality.chromatic_number ~adj
+
+let restriction_is_optimal tiling dom =
+  let n = Tiling.Single.prototile tiling in
+  let schedule = Schedule.of_tiling tiling in
+  let used =
+    Vec.Set.fold (fun v acc -> IntSet.add (Schedule.slot_at schedule v) acc) dom IntSet.empty
+  in
+  IntSet.cardinal used = optimal_slots ~neighborhood:(fun _ -> n) dom

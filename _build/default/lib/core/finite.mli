@@ -1,0 +1,53 @@
+(** Restriction to finitely many sensors (paper conclusions, paragraph 1).
+
+    Real deployments are finite subsets [D] of the lattice.  Restricting a
+    Theorem-1/2 schedule to [D] trivially stays collision-free; the
+    interesting question is optimality.  The paper's criterion: if [D]
+    contains a translate of [N1 + N1] (the respectable prototile and its
+    neighbours), the [m = |N1|] lower bound still applies, because the
+    translate contains a full tile whose sensors pairwise interfere {e
+    with witnesses inside D}.  Small domains can genuinely do better;
+    {!optimal_slots} computes the exact finite optimum (a distance-2
+    chromatic number) so experiments can exhibit both regimes. *)
+
+type domain = Zgeom.Vec.Set.t
+
+val box : lo:Zgeom.Vec.t -> hi:Zgeom.Vec.t -> domain
+(** All lattice points with [lo <= v <= hi] componentwise. *)
+
+val contains_translate : domain -> Zgeom.Vec.Set.t -> bool
+(** [contains_translate d s]: is there [t] with [t + s] a subset of [d]? *)
+
+val meets_optimality_criterion : domain -> Lattice.Prototile.t -> bool
+(** The paper's sufficient condition: [D] contains a translate of
+    [N1 + N1]. *)
+
+val conflict_adj :
+  neighborhood:(Zgeom.Vec.t -> Lattice.Prototile.t) ->
+  Zgeom.Vec.t array ->
+  bool array array
+(** Conflict-graph adjacency over the given sensors: [u ~ v] iff their
+    interference ranges intersect (witness may be any lattice point -
+    within a domain the witness must itself host a sensor, so this is the
+    conservative variant; see {!conflict_adj_witnessed}). *)
+
+val conflict_adj_witnessed :
+  neighborhood:(Zgeom.Vec.t -> Lattice.Prototile.t) ->
+  Zgeom.Vec.t array ->
+  bool array array
+(** [u ~ v] iff some sensor position of the array lies in both ranges:
+    the collision problems of the paper's introduction restricted to
+    sensors that exist. *)
+
+val optimal_slots :
+  ?witnessed:bool ->
+  neighborhood:(Zgeom.Vec.t -> Lattice.Prototile.t) ->
+  domain ->
+  int
+(** Exact minimum number of slots for a collision-free periodic schedule
+    of the finite domain (chromatic number of the conflict graph;
+    exponential-time exact search - keep domains small).
+    [witnessed] (default true) uses {!conflict_adj_witnessed}. *)
+
+val restriction_is_optimal : Tiling.Single.t -> domain -> bool
+(** Does the restricted Theorem-1 schedule use the finite optimum? *)

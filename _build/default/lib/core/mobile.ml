@@ -1,0 +1,42 @@
+open Lattice
+
+type t = { tiling : Tiling.Single.t; schedule : Schedule.t }
+
+let make tiling =
+  assert (Tiling.Single.dim tiling = 2);
+  { tiling; schedule = Schedule.of_tiling tiling }
+
+let schedule t = t.schedule
+
+let tile_region t p =
+  let s, _ = Tiling.Single.tile_of t.tiling p in
+  Prototile.translate s (Tiling.Single.prototile t.tiling)
+
+let home _t pos = Voronoi.open_cell_of pos
+
+let eligible_slot t ~pos ~radius =
+  match home t pos with
+  | None -> None
+  | Some p ->
+    let region = tile_region t p in
+    if Voronoi.disk_fits_in_region region ~center:pos ~radius then
+      Some (Schedule.slot_at t.schedule p)
+    else None
+
+let eligible t ~pos ~radius ~time =
+  match eligible_slot t ~pos ~radius with
+  | None -> false
+  | Some slot ->
+    let m = Schedule.num_slots t.schedule in
+    ((time mod m) + m) mod m = slot
+
+let eligible_pairs_disjoint t sensors ~time =
+  let senders = List.filter (fun (pos, r) -> eligible t ~pos ~radius:r ~time) sensors in
+  let disjoint (p1, r1) (p2, r2) =
+    Float.hypot (p1.Voronoi.px -. p2.Voronoi.px) (p1.Voronoi.py -. p2.Voronoi.py) > r1 +. r2 -. 1e-12
+  in
+  let rec all_pairs = function
+    | [] -> true
+    | s :: rest -> List.for_all (disjoint s) rest && all_pairs rest
+  in
+  all_pairs senders

@@ -1,0 +1,42 @@
+(** Mobile sensors (paper conclusions, paragraph 2).
+
+    Slots are assigned to {e locations} rather than sensors: lattice point
+    [p] keeps the slot the tiling schedule gives it.  A sensor at a
+    continuous position [s] may send at time [t] iff
+
+    - [s] lies in the {e open} Voronoi cell of some lattice point [p]
+      (at most one sensor per cell, boundaries excluded),
+    - [t = slot p (mod m)], and
+    - the interference disk of [s] fits inside the region [K] of the tile
+      containing [p] (union of the Voronoi squares of the tile's cells).
+
+    Any two sensors eligible in the same slot then sit in distinct
+    same-slot tiles, whose regions are disjoint by T2 - so their disks are
+    disjoint and the schedule is collision-free, whatever the motion.
+    {!eligible_pairs_disjoint} machine-checks this on concrete sensor
+    populations.  Square lattice, homogeneous prototile. *)
+
+type t
+
+val make : Tiling.Single.t -> t
+(** Requires a 2-D tiling. *)
+
+val schedule : t -> Schedule.t
+
+val tile_region : t -> Zgeom.Vec.t -> Zgeom.Vec.Set.t
+(** Cells (unit-square centers) of the tile covering the given point. *)
+
+val home : t -> Lattice.Voronoi.point2 -> Zgeom.Vec.t option
+(** The lattice point whose open Voronoi cell contains the position. *)
+
+val eligible : t -> pos:Lattice.Voronoi.point2 -> radius:float -> time:int -> bool
+(** The full sending rule above. *)
+
+val eligible_slot : t -> pos:Lattice.Voronoi.point2 -> radius:float -> int option
+(** The slot in which the sensor would be allowed to send, if any
+    (independent of time). *)
+
+val eligible_pairs_disjoint :
+  t -> (Lattice.Voronoi.point2 * float) list -> time:int -> bool
+(** For a population of (position, radius) sensors: do all pairs eligible
+    at [time] have disjoint interference disks? Should always hold. *)

@@ -1,0 +1,1 @@
+lib/lattice/boundary_word.ml: Array Polyomino Printf String Vec Zgeom

@@ -1,0 +1,1 @@
+lib/lattice/boundary_word.mli: Prototile Zgeom

@@ -1,0 +1,1 @@
+lib/lattice/embedding.ml: Float Prototile Vec Zgeom

@@ -1,0 +1,1 @@
+lib/lattice/embedding.mli: Prototile Zgeom

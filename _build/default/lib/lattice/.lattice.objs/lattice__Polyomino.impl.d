@@ -1,0 +1,1 @@
+lib/lattice/polyomino.ml: Buffer List Prototile Queue Vec Zgeom

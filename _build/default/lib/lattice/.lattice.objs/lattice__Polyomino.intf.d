@@ -1,0 +1,1 @@
+lib/lattice/polyomino.mli: Prototile

@@ -1,0 +1,1 @@
+lib/lattice/prototile.ml: Array Format Fun List Printf Stdlib String Vec Zgeom

@@ -1,0 +1,1 @@
+lib/lattice/prototile.mli: Format Zgeom

@@ -1,0 +1,1 @@
+lib/lattice/randomtile.ml: Array Prng Prototile Vec Zgeom

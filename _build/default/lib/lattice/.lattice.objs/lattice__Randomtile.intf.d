@@ -1,0 +1,1 @@
+lib/lattice/randomtile.mli: Prng Prototile

@@ -1,0 +1,1 @@
+lib/lattice/sublattice.ml: Array Format Fun List Stdlib Vec Zgeom Zmat

@@ -1,0 +1,1 @@
+lib/lattice/sublattice.mli: Format Zgeom

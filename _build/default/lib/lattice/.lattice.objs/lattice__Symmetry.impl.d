@@ -1,0 +1,1 @@
+lib/lattice/symmetry.ml: List Prototile Vec Zgeom

@@ -1,0 +1,1 @@
+lib/lattice/symmetry.mli: Prototile Zgeom

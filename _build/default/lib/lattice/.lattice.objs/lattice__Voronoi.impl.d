@@ -1,0 +1,1 @@
+lib/lattice/voronoi.ml: Float List Rat Vec Zgeom

@@ -1,0 +1,1 @@
+lib/lattice/voronoi.mli: Zgeom

@@ -1,0 +1,66 @@
+open Zgeom
+
+type t = { ux : float; uy : float; vx : float; vy : float; det : float }
+
+let of_basis (ux, uy) (vx, vy) =
+  let det = (ux *. vy) -. (uy *. vx) in
+  if Float.abs det < 1e-12 then invalid_arg "Embedding.of_basis: dependent basis";
+  { ux; uy; vx; vy; det }
+
+let square = of_basis (1.0, 0.0) (0.0, 1.0)
+let hexagonal = of_basis (1.0, 0.0) (0.5, sqrt 3.0 /. 2.0)
+
+let position e p =
+  let a = float_of_int (Vec.x p) and b = float_of_int (Vec.y p) in
+  ((a *. e.ux) +. (b *. e.vx), (a *. e.uy) +. (b *. e.vy))
+
+let coords e (x, y) =
+  (((x *. e.vy) -. (y *. e.vx)) /. e.det, ((y *. e.ux) -. (x *. e.uy)) /. e.det)
+
+let dist2 (x1, y1) (x2, y2) =
+  let dx = x1 -. x2 and dy = y1 -. y2 in
+  (dx *. dx) +. (dy *. dy)
+
+let nearest e w =
+  let a, b = coords e w in
+  (* The closest point has coordinates within 1 of the real solution for
+     any basis shape; search the 3x3 rounded neighbourhood. *)
+  let a0 = int_of_float (Float.round a) and b0 = int_of_float (Float.round b) in
+  let best = ref (Vec.make2 a0 b0) in
+  let best_d = ref (dist2 w (position e !best)) in
+  for da = -1 to 1 do
+    for db = -1 to 1 do
+      let cand = Vec.make2 (a0 + da) (b0 + db) in
+      let d = dist2 w (position e cand) in
+      if d < !best_d then begin
+        best := cand;
+        best_d := d
+      end
+    done
+  done;
+  !best
+
+let distance e p q = sqrt (dist2 (position e p) (position e q))
+
+let covolume e = Float.abs e.det
+
+let geometric_ball e ~radius =
+  assert (radius >= 0.0);
+  (* Conservative coordinate bound: |a|, |b| <= radius * (max row norm of
+     the inverse map) + 1. *)
+  let inv_norm =
+    let r1 = Float.hypot e.vy e.vx and r2 = Float.hypot e.uy e.ux in
+    (Float.max r1 r2 /. Float.abs e.det) +. 1.0
+  in
+  let bound = int_of_float (ceil (radius *. inv_norm)) + 1 in
+  let cells = ref [ Vec.zero 2 ] in
+  for a = -bound to bound do
+    for b = -bound to bound do
+      if a <> 0 || b <> 0 then begin
+        let p = Vec.make2 a b in
+        if dist2 (0.0, 0.0) (position e p) <= (radius *. radius) +. 1e-12 then
+          cells := p :: !cells
+      end
+    done
+  done;
+  Prototile.of_cells !cells

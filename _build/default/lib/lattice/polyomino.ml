@@ -1,0 +1,105 @@
+open Zgeom
+
+let neighbours4 v =
+  [ Vec.add v (Vec.make2 1 0); Vec.add v (Vec.make2 (-1) 0);
+    Vec.add v (Vec.make2 0 1); Vec.add v (Vec.make2 0 (-1)) ]
+
+let bfs_component start mem_set =
+  let visited = ref (Vec.Set.singleton start) in
+  let queue = Queue.create () in
+  Queue.add start queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun w ->
+        if mem_set w && not (Vec.Set.mem w !visited) then begin
+          visited := Vec.Set.add w !visited;
+          Queue.add w queue
+        end)
+      (neighbours4 v)
+  done;
+  !visited
+
+let is_connected p =
+  assert (Prototile.dim p = 2);
+  let cells = Prototile.cell_set p in
+  match Vec.Set.min_elt_opt cells with
+  | None -> true
+  | Some start ->
+    Vec.Set.cardinal (bfs_component start (fun v -> Vec.Set.mem v cells))
+    = Vec.Set.cardinal cells
+
+let has_holes p =
+  assert (Prototile.dim p = 2);
+  let cells = Prototile.cell_set p in
+  let lo, hi = Prototile.bounding_box p in
+  (* Flood the complement from a point just outside the bounding box; any
+     complement cell inside the box left unvisited lies in a hole. *)
+  let x0 = Vec.x lo - 1 and y0 = Vec.y lo - 1 in
+  let x1 = Vec.x hi + 1 and y1 = Vec.y hi + 1 in
+  let inside v = x0 <= Vec.x v && Vec.x v <= x1 && y0 <= Vec.y v && Vec.y v <= y1 in
+  let outside_region v = inside v && not (Vec.Set.mem v cells) in
+  let reached = bfs_component (Vec.make2 x0 y0) outside_region in
+  let holes = ref false in
+  for x = x0 to x1 do
+    for y = y0 to y1 do
+      let v = Vec.make2 x y in
+      if outside_region v && not (Vec.Set.mem v reached) then holes := true
+    done
+  done;
+  !holes
+
+let is_polyomino p = is_connected p && not (has_holes p)
+
+let perimeter p =
+  let cells = Prototile.cell_set p in
+  Vec.Set.fold
+    (fun v acc ->
+      acc + List.length (List.filter (fun w -> not (Vec.Set.mem w cells)) (neighbours4 v)))
+    cells 0
+
+let area p = Prototile.size p
+
+(* Boundary tracing.  Cell (i, j) occupies the unit square
+   [i, i+1] x [j, j+1]; corners are lattice points.  We walk corner to
+   corner keeping the interior on the left (counterclockwise), preferring
+   the left turn, then straight, then right (left-hand-on-wall rule). *)
+let boundary_word p =
+  assert (is_polyomino p);
+  let cells = Prototile.cell_set p in
+  let has v = Vec.Set.mem v cells in
+  (* An edge step from corner (x, y) in direction d is a boundary edge with
+     interior on the left iff the left-side cell is in and the right-side
+     cell is out. *)
+  let valid (x, y) = function
+    | 'r' -> has (Vec.make2 x y) && not (has (Vec.make2 x (y - 1)))
+    | 'u' -> has (Vec.make2 (x - 1) y) && not (has (Vec.make2 x y))
+    | 'l' -> has (Vec.make2 (x - 1) (y - 1)) && not (has (Vec.make2 (x - 1) y))
+    | 'd' -> has (Vec.make2 x (y - 1)) && not (has (Vec.make2 (x - 1) (y - 1)))
+    | _ -> assert false
+  in
+  let step (x, y) = function
+    | 'r' -> (x + 1, y)
+    | 'u' -> (x, y + 1)
+    | 'l' -> (x - 1, y)
+    | 'd' -> (x, y - 1)
+    | _ -> assert false
+  in
+  let left_of = function 'r' -> 'u' | 'u' -> 'l' | 'l' -> 'd' | 'd' -> 'r' | _ -> assert false in
+  let right_of = function 'r' -> 'd' | 'd' -> 'l' | 'l' -> 'u' | 'u' -> 'r' | _ -> assert false in
+  let start_cell = Vec.Set.min_elt cells in
+  let start = (Vec.x start_cell, Vec.y start_cell) in
+  let buf = Buffer.create 16 in
+  let rec walk pos dir =
+    Buffer.add_char buf dir;
+    let pos = step pos dir in
+    if pos <> start then begin
+      let candidates = [ left_of dir; dir; right_of dir ] in
+      match List.find_opt (valid pos) candidates with
+      | Some d -> walk pos d
+      | None -> assert false (* simply connected => boundary is one cycle *)
+    end
+  in
+  assert (valid start 'r');
+  walk start 'r';
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** 2-D polyomino structure of a prototile.
+
+    A prototile in the square lattice corresponds to a polyomino: the union
+    of unit squares (Voronoi cells) around its points (Section 3 of the
+    paper; Figure 4a).  This module supplies the combinatorial facts the
+    exactness machinery needs: 4-connectivity, hole detection, and the
+    boundary word over the alphabet {u, d, l, r} consumed by the
+    Beauquier-Nivat criterion. *)
+
+val is_connected : Prototile.t -> bool
+(** Edge-connectivity of the cell set (4-neighbours). Requires [dim = 2]. *)
+
+val has_holes : Prototile.t -> bool
+(** True when the complement of the cell set is disconnected inside the
+    bounding box, i.e. the polyomino is not simply connected. *)
+
+val is_polyomino : Prototile.t -> bool
+(** Connected and simply connected: a boundary word exists. *)
+
+val boundary_word : Prototile.t -> string
+(** Counterclockwise boundary of the union of unit squares, as a word over
+    ['u' 'd' 'l' 'r'], starting at the bottom-left corner of the
+    lexicographically smallest cell. The length equals the perimeter.
+    Requires {!is_polyomino}. *)
+
+val area : Prototile.t -> int
+(** Number of cells. *)
+
+val perimeter : Prototile.t -> int
+(** Number of boundary edges (cell sides adjacent to the complement). *)

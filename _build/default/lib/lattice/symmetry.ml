@@ -1,0 +1,32 @@
+open Zgeom
+
+type element = { rotation : int; reflected : bool }
+
+let apply e v =
+  let v = if e.reflected then Vec.reflect_x v else v in
+  let rec rot k v = if k = 0 then v else rot (k - 1) (Vec.rot90 v) in
+  rot (e.rotation mod 4) v
+
+(* Translation-normalized cell set: anchor at the lexicographic minimum. *)
+let normalized cells =
+  let anchor = Vec.Set.min_elt cells in
+  Vec.Set.map (fun v -> Vec.sub v anchor) cells
+
+let group p =
+  assert (Prototile.dim p = 2);
+  let reference = normalized (Prototile.cell_set p) in
+  List.filter
+    (fun e ->
+      Vec.Set.equal reference (normalized (Vec.Set.map (apply e) (Prototile.cell_set p))))
+    (List.concat_map
+       (fun reflected -> List.init 4 (fun rotation -> { rotation; reflected }))
+       [ false; true ])
+
+let order p = List.length (group p)
+
+let rotations_in_group p =
+  List.length (List.filter (fun e -> not e.reflected) (group p))
+
+let distinct_orientations p = 4 / rotations_in_group p
+
+let is_symmetric_under_rotation p = rotations_in_group p > 1

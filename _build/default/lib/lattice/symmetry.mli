@@ -1,0 +1,30 @@
+(** Symmetries of 2-D prototiles.
+
+    The symmetry group of a prototile is the subgroup of the square
+    lattice's point group D4 (rotations by 90 degrees and reflections)
+    whose elements map the cell set to a translate of itself.  Antenna
+    reading: the radiation pattern's symmetry.  Scheduling reading:
+    symmetric prototiles admit symmetric tilings and the symmetry class
+    determines how many genuinely different rotated deployments exist
+    (Section 4's motivation for multiple prototiles). *)
+
+type element = {
+  rotation : int;  (** quarter turns, 0-3 *)
+  reflected : bool;  (** composed with the x-axis mirror (applied first) *)
+}
+
+val apply : element -> Zgeom.Vec.t -> Zgeom.Vec.t
+
+val group : Prototile.t -> element list
+(** The elements of D4 fixing the prototile up to translation; always
+    contains the identity, and its size divides 8. *)
+
+val order : Prototile.t -> int
+
+val distinct_orientations : Prototile.t -> int
+(** Number of genuinely different rotated versions: [4 / |rotations in
+    the group|]. A fully symmetric ball has 1; the S tetromino has 2; an
+    L shape has 4. *)
+
+val is_symmetric_under_rotation : Prototile.t -> bool
+(** Has a non-trivial rotation symmetry. *)

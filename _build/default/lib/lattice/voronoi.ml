@@ -1,0 +1,101 @@
+open Zgeom
+
+type point2 = { px : float; py : float }
+
+let embed_square v = { px = float_of_int (Vec.x v); py = float_of_int (Vec.y v) }
+
+let sqrt3_over_2 = sqrt 3.0 /. 2.0
+
+let embed_hex v =
+  let a = float_of_int (Vec.x v) and b = float_of_int (Vec.y v) in
+  { px = a +. (b /. 2.0); py = b *. sqrt3_over_2 }
+
+let square_cell_corners v =
+  let x = Rat.of_int (Vec.x v) and y = Rat.of_int (Vec.y v) in
+  let xm = Rat.sub x Rat.half and xp = Rat.add x Rat.half in
+  let ym = Rat.sub y Rat.half and yp = Rat.add y Rat.half in
+  [ (xm, ym); (xp, ym); (xp, yp); (xm, yp) ]
+
+(* Regular hexagon with inradius 1/2 (neighbour distance 1), flat sides
+   facing the six lattice neighbours. *)
+let hex_cell_corners v =
+  let c = embed_hex v in
+  let circumradius = 1.0 /. sqrt 3.0 in
+  List.init 6 (fun k ->
+      let angle = (Float.pi /. 6.0) +. (float_of_int k *. Float.pi /. 3.0) in
+      { px = c.px +. (circumradius *. cos angle); py = c.py +. (circumradius *. sin angle) })
+
+let hex_cell_area = sqrt3_over_2
+
+let region_of_cells cells = cells
+
+let region_boundary_edges cells =
+  (* For each occupied square, each side facing an unoccupied square is a
+     boundary segment.  Squares are centered on lattice points. *)
+  let edge_of v = function
+    | `E ->
+      let x = float_of_int (Vec.x v) +. 0.5 and y = float_of_int (Vec.y v) in
+      ({ px = x; py = y -. 0.5 }, { px = x; py = y +. 0.5 })
+    | `W ->
+      let x = float_of_int (Vec.x v) -. 0.5 and y = float_of_int (Vec.y v) in
+      ({ px = x; py = y -. 0.5 }, { px = x; py = y +. 0.5 })
+    | `N ->
+      let x = float_of_int (Vec.x v) and y = float_of_int (Vec.y v) +. 0.5 in
+      ({ px = x -. 0.5; py = y }, { px = x +. 0.5; py = y })
+    | `S ->
+      let x = float_of_int (Vec.x v) and y = float_of_int (Vec.y v) -. 0.5 in
+      ({ px = x -. 0.5; py = y }, { px = x +. 0.5; py = y })
+  in
+  let sides = [ (`E, Vec.make2 1 0); (`W, Vec.make2 (-1) 0); (`N, Vec.make2 0 1); (`S, Vec.make2 0 (-1)) ] in
+  Vec.Set.fold
+    (fun v acc ->
+      List.fold_left
+        (fun acc (side, d) ->
+          if Vec.Set.mem (Vec.add v d) cells then acc else edge_of v side :: acc)
+        acc sides)
+    cells []
+
+let nearest_lattice_point p =
+  Vec.make2 (int_of_float (Float.round p.px)) (int_of_float (Float.round p.py))
+
+let point_in_region cells p =
+  let v = nearest_lattice_point p in
+  (* The closed square of the nearest point always contains p; points on
+     shared cell boundaries may also belong to a neighbour's square, but
+     then that neighbour is at equal distance, so checking membership of
+     all four candidate cells around p is enough. *)
+  let candidates =
+    [ v;
+      Vec.make2 (int_of_float (floor (p.px +. 0.5))) (Vec.y v);
+      Vec.make2 (Vec.x v) (int_of_float (floor (p.py +. 0.5)));
+      Vec.make2 (int_of_float (ceil (p.px -. 0.5))) (int_of_float (ceil (p.py -. 0.5)))
+    ]
+  in
+  List.exists
+    (fun c ->
+      Vec.Set.mem c cells
+      && Float.abs (p.px -. float_of_int (Vec.x c)) <= 0.5 +. 1e-12
+      && Float.abs (p.py -. float_of_int (Vec.y c)) <= 0.5 +. 1e-12)
+    candidates
+
+let open_cell_of p =
+  let v = nearest_lattice_point p in
+  let dx = Float.abs (p.px -. float_of_int (Vec.x v)) in
+  let dy = Float.abs (p.py -. float_of_int (Vec.y v)) in
+  if dx < 0.5 -. 1e-12 && dy < 0.5 -. 1e-12 then Some v else None
+
+let dist_point_segment p (a, b) =
+  let abx = b.px -. a.px and aby = b.py -. a.py in
+  let apx = p.px -. a.px and apy = p.py -. a.py in
+  let len2 = (abx *. abx) +. (aby *. aby) in
+  let t = if len2 = 0.0 then 0.0 else Float.max 0.0 (Float.min 1.0 (((apx *. abx) +. (apy *. aby)) /. len2)) in
+  let cx = a.px +. (t *. abx) and cy = a.py +. (t *. aby) in
+  Float.hypot (p.px -. cx) (p.py -. cy)
+
+let distance_to_boundary cells p =
+  List.fold_left
+    (fun acc e -> Float.min acc (dist_point_segment p e))
+    infinity (region_boundary_edges cells)
+
+let disk_fits_in_region cells ~center ~radius =
+  point_in_region cells center && distance_to_boundary cells center >= radius -. 1e-12

@@ -1,0 +1,56 @@
+(** Voronoi geometry of 2-D lattices (Section 3, Figure 4; conclusions).
+
+    The Voronoi cell of a square-lattice point is the unit square around
+    it; the union of cells over a prototile is the quasi-polyomino [K] of
+    the paper.  The hexagonal lattice's cell is a regular hexagon.  The
+    square-lattice predicates are exact (rational); the hexagonal embedding
+    is floating point and used only for rendering.
+
+    The mobile-sensor rule from the conclusions needs one geometric
+    predicate: does the interference disk of a sensor inside a tile's
+    region fit entirely within that region?  {!disk_fits_in_region}
+    answers it by comparing the disk radius against the distance from the
+    center to the region's boundary edges. *)
+
+type point2 = { px : float; py : float }
+
+val embed_square : Zgeom.Vec.t -> point2
+(** Identity embedding of [Z^2]. *)
+
+val embed_hex : Zgeom.Vec.t -> point2
+(** Hexagonal-lattice embedding: basis [(1, 0)] and [(1/2, sqrt 3 / 2)]
+    (Figure 1, right). *)
+
+val square_cell_corners : Zgeom.Vec.t -> (Zgeom.Rat.t * Zgeom.Rat.t) list
+(** The four corners of the Voronoi square of a lattice point,
+    counterclockwise, exactly. *)
+
+val hex_cell_corners : Zgeom.Vec.t -> point2 list
+(** The six corners of the Voronoi hexagon of a hexagonal-lattice point,
+    counterclockwise. *)
+
+val hex_cell_area : float
+(** Area of one hexagonal Voronoi cell, [sqrt 3 / 2]. *)
+
+val region_of_cells : Zgeom.Vec.Set.t -> Zgeom.Vec.Set.t
+(** Identity helper kept for symmetry: a region is identified with its set
+    of occupied unit squares. *)
+
+val region_boundary_edges : Zgeom.Vec.Set.t -> (point2 * point2) list
+(** Boundary segments (unit length, grid-aligned) of the union of Voronoi
+    squares of the given square-lattice points. *)
+
+val point_in_region : Zgeom.Vec.Set.t -> point2 -> bool
+(** Closed-region membership: the point lies in some cell's square. *)
+
+val open_cell_of : point2 -> Zgeom.Vec.t option
+(** The square-lattice point whose {e open} Voronoi cell contains the
+    given position, or [None] on cell boundaries (ties). *)
+
+val distance_to_boundary : Zgeom.Vec.Set.t -> point2 -> float
+(** Euclidean distance from a point to the region's boundary;
+    [infinity] for an empty boundary. *)
+
+val disk_fits_in_region : Zgeom.Vec.Set.t -> center:point2 -> radius:float -> bool
+(** True iff the closed disk lies inside the closed region: the paper's
+    "interference range of [s] fits within the tile of [p]". *)

@@ -1,0 +1,1 @@
+lib/netsim/mac.ml: Core Prng Zgeom

@@ -1,0 +1,1 @@
+lib/netsim/mac.mli: Core Prng Zgeom

@@ -1,0 +1,1 @@
+lib/netsim/mobile_sim.ml: Array Core Float Hashtbl Lattice List Mobility Option Prng Tiling Voronoi

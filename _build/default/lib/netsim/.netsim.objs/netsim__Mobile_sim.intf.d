@@ -1,0 +1,1 @@
+lib/netsim/mobile_sim.mli: Tiling

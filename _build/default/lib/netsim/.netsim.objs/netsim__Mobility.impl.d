@@ -1,0 +1,1 @@
+lib/netsim/mobility.ml: Float Lattice Prng Voronoi

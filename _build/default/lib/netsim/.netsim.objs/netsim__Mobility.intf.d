@@ -1,0 +1,1 @@
+lib/netsim/mobility.mli: Lattice Prng

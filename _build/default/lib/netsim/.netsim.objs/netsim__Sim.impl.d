@@ -1,0 +1,1 @@
+lib/netsim/sim.ml: Array Energy Format Hashtbl Heap Lattice List Mac Prng Prototile Queue Stats Trace Vec Workload Zgeom

@@ -1,0 +1,1 @@
+lib/netsim/sim.mli: Energy Format Lattice Mac Stats Trace Workload Zgeom

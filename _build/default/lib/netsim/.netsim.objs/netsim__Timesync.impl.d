@@ -1,0 +1,1 @@
+lib/netsim/timesync.ml: Array Core Float Fun Hashtbl Lattice List Prng Prototile Vec Zgeom

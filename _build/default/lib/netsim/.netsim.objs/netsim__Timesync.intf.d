@@ -1,0 +1,1 @@
+lib/netsim/timesync.mli: Core Lattice Zgeom

@@ -1,0 +1,1 @@
+lib/netsim/trace.ml: Array Buffer Bytes List Printf

@@ -1,0 +1,8 @@
+type model = { tx_cost : float; rx_cost : float; idle_cost : float }
+
+let default = { tx_cost = 1.0; rx_cost = 0.4; idle_cost = 0.01 }
+
+let slot_energy m ~transmitters ~receivers ~idlers =
+  (float_of_int transmitters *. m.tx_cost)
+  +. (float_of_int receivers *. m.rx_cost)
+  +. (float_of_int idlers *. m.idle_cost)

@@ -1,0 +1,15 @@
+(** Energy accounting.
+
+    The paper's motivation for collision-freeness is energy: colliding
+    messages "need to be resent, which is evidently a waste of energy."
+    The model is the standard first-order radio budget: a fixed cost per
+    transmission, a cost per reception (every node inside a transmitter's
+    range spends receive energy whether or not the packet survives), and
+    an idle tick otherwise. *)
+
+type model = { tx_cost : float; rx_cost : float; idle_cost : float }
+
+val default : model
+(** tx = 1.0, rx = 0.4, idle = 0.01 - typical low-power-radio ratios. *)
+
+val slot_energy : model -> transmitters:int -> receivers:int -> idlers:int -> float

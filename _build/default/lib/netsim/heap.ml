@@ -1,0 +1,58 @@
+type 'a t = { mutable data : (int * 'a) array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let is_empty h = h.len = 0
+let size h = h.len
+
+let grow h entry =
+  let cap = Array.length h.data in
+  if h.len = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let nd = Array.make ncap entry in
+    Array.blit h.data 0 nd 0 h.len;
+    h.data <- nd
+  end
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if fst h.data.(i) < fst h.data.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+  if r < h.len && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h key v =
+  grow h (key, v);
+  h.data.(h.len) <- (key, v);
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let peek_key h = if h.len = 0 then None else Some (fst h.data.(0))
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      sift_down h 0
+    end;
+    Some top
+  end

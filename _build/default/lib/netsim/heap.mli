@@ -1,0 +1,17 @@
+(** Binary min-heap keyed by integer priority (event times).
+
+    The simulator's event queue: arrivals and mobility updates are pushed
+    with their due slot and popped in time order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> int -> 'a -> unit
+
+val peek_key : 'a t -> int option
+(** Smallest key, without removing. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Smallest-keyed element; ties in insertion order are not guaranteed. *)

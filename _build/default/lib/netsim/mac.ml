@@ -1,0 +1,60 @@
+type decision_context = { time : int; has_packet : bool; channel_busy_last : bool }
+type outcome = [ `Delivered | `Collided ]
+type instance = { name : string; decide : decision_context -> bool; feedback : outcome -> unit }
+type factory = node_id:int -> pos:Zgeom.Vec.t -> rng:Prng.Xoshiro.t -> instance
+
+let lattice_tdma schedule ~node_id:_ ~pos ~rng:_ =
+  {
+    name = "lattice-tdma";
+    decide = (fun ctx -> ctx.has_packet && Core.Schedule.may_send schedule pos ~time:ctx.time);
+    feedback = ignore;
+  }
+
+let lattice_tdma_drifted schedule ~drift_at ~node_id:_ ~pos ~rng:_ =
+  {
+    name = "lattice-tdma-drifted";
+    decide =
+      (fun ctx -> ctx.has_packet && Core.Schedule.with_drift schedule ~drift_at pos ~time:ctx.time);
+    feedback = ignore;
+  }
+
+let full_tdma ~num_nodes ~node_id ~pos:_ ~rng:_ =
+  {
+    name = "full-tdma";
+    decide = (fun ctx -> ctx.has_packet && ctx.time mod num_nodes = node_id);
+    feedback = ignore;
+  }
+
+let slotted_aloha ~p ~max_backoff_exp ~node_id:_ ~pos:_ ~rng =
+  assert (0.0 < p && p <= 1.0);
+  let backoff = ref 0 in
+  let exponent = ref 0 in
+  {
+    name = "slotted-aloha";
+    decide =
+      (fun ctx ->
+        if not ctx.has_packet then false
+        else if !backoff > 0 then begin
+          decr backoff;
+          false
+        end
+        else Prng.Xoshiro.bernoulli rng p);
+    feedback =
+      (function
+      | `Delivered ->
+        exponent := 0;
+        backoff := 0
+      | `Collided ->
+        exponent := min max_backoff_exp (!exponent + 1);
+        backoff := Prng.Xoshiro.int rng (1 lsl !exponent));
+  }
+
+let p_csma ~p ~node_id:_ ~pos:_ ~rng =
+  assert (0.0 < p && p <= 1.0);
+  {
+    name = "p-csma";
+    decide =
+      (fun ctx ->
+        ctx.has_packet && (not ctx.channel_busy_last) && Prng.Xoshiro.bernoulli rng p);
+    feedback = ignore;
+  }

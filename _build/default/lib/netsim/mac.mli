@@ -1,0 +1,36 @@
+(** Medium-access control protocols.
+
+    A MAC instance is per-node mutable state with two entry points: a
+    slot-time decision to transmit, and feedback on the attempt's outcome.
+    The engine supplies the node's view of the channel (busy in the
+    previous slot) so carrier-sensing protocols can be expressed.
+
+    Implementations:
+    - {!lattice_tdma}: the paper's schedule - send iff the slot is yours.
+      Never needs feedback; zero collisions by Theorem 1/2.
+    - {!lattice_tdma_drifted}: same with a per-node clock offset, the
+      fault-injection variant.
+    - {!full_tdma}: classic one-slot-per-sensor round robin - correct but
+      with period = network size (the intro's scaling complaint).
+    - {!slotted_aloha}: transmit with probability [p] when backlogged;
+      binary exponential backoff on collision.
+    - {!p_csma}: p-persistent carrier sensing - defer while the channel
+      around you was busy, else transmit with probability [p]. *)
+
+type decision_context = {
+  time : int;
+  has_packet : bool;
+  channel_busy_last : bool;  (** Some neighbor transmitted in slot [time - 1]. *)
+}
+
+type outcome = [ `Delivered | `Collided ]
+
+type instance = { name : string; decide : decision_context -> bool; feedback : outcome -> unit }
+
+type factory = node_id:int -> pos:Zgeom.Vec.t -> rng:Prng.Xoshiro.t -> instance
+
+val lattice_tdma : Core.Schedule.t -> factory
+val lattice_tdma_drifted : Core.Schedule.t -> drift_at:(Zgeom.Vec.t -> int) -> factory
+val full_tdma : num_nodes:int -> factory
+val slotted_aloha : p:float -> max_backoff_exp:int -> factory
+val p_csma : p:float -> factory

@@ -1,0 +1,109 @@
+open Lattice
+
+type config = {
+  tiling : Tiling.Single.t;
+  arena_width : float;
+  num_sensors : int;
+  radius : float;
+  speed : float;
+  pause : int;
+  send_interval : int;
+  duration : int;
+  seed : int64;
+}
+
+type result = {
+  attempts : int;
+  deliveries : int;
+  receiver_receptions : int;
+  collisions : int;
+  eligible_slot_fraction : float;
+}
+
+let dist a b = Float.hypot (a.Voronoi.px -. b.Voronoi.px) (a.Voronoi.py -. b.Voronoi.py)
+
+let run cfg =
+  assert (cfg.num_sensors > 0 && cfg.duration >= 0);
+  let mobile = Core.Mobile.make cfg.tiling in
+  let rng = Prng.Xoshiro.create cfg.seed in
+  let arena =
+    { Mobility.x_min = 0.0; x_max = cfg.arena_width; y_min = 0.0; y_max = cfg.arena_width }
+  in
+  let walkers =
+    Array.init cfg.num_sensors (fun _ ->
+        let r = Prng.Xoshiro.split rng in
+        let start =
+          { Voronoi.px = Prng.Xoshiro.float r cfg.arena_width;
+            py = Prng.Xoshiro.float r cfg.arena_width }
+        in
+        Mobility.create arena ~speed:cfg.speed ~pause:cfg.pause ~rng:r ~start)
+  in
+  let backlog = Array.make cfg.num_sensors 0 in
+  let phases = Array.init cfg.num_sensors (fun _ -> Prng.Xoshiro.int rng cfg.send_interval) in
+  let attempts = ref 0 in
+  let deliveries = ref 0 in
+  let receptions = ref 0 in
+  let collisions = ref 0 in
+  let eligible_count = ref 0 in
+  for t = 0 to cfg.duration - 1 do
+    Array.iteri (fun i _ -> if t mod cfg.send_interval = phases.(i) then backlog.(i) <- backlog.(i) + 1) phases;
+    let positions = Array.map Mobility.position walkers in
+    (* The paper assumes at most one sensor per Voronoi cell; mobile
+       populations can violate it, so a sensor whose open cell is
+       contested defers (this preserves the collision-freeness proof). *)
+    let homes = Array.map Lattice.Voronoi.open_cell_of positions in
+    let occupancy = Hashtbl.create cfg.num_sensors in
+    Array.iter
+      (function
+        | Some c -> Hashtbl.replace occupancy c (1 + Option.value ~default:0 (Hashtbl.find_opt occupancy c))
+        | None -> ())
+      homes;
+    let alone i =
+      match homes.(i) with Some c -> Hashtbl.find occupancy c = 1 | None -> false
+    in
+    let eligible =
+      Array.mapi
+        (fun i pos ->
+          let e = alone i && Core.Mobile.eligible mobile ~pos ~radius:cfg.radius ~time:t in
+          if e then incr eligible_count;
+          e)
+        positions
+    in
+    let senders = ref [] in
+    Array.iteri (fun i e -> if e && backlog.(i) > 0 then senders := i :: !senders) eligible;
+    (* Receptions: receiver j <> sender i inside i's disk; fails when
+       inside two senders' disks or itself sending. *)
+    let in_disk i j = dist positions.(i) positions.(j) <= cfg.radius in
+    List.iter
+      (fun i ->
+        incr attempts;
+        let ok = ref true in
+        for j = 0 to cfg.num_sensors - 1 do
+          if j <> i && in_disk i j then begin
+            let interferers =
+              List.filter (fun k -> k <> i && in_disk k j) !senders
+            in
+            let self_sending = List.mem j !senders in
+            if interferers <> [] || self_sending then begin
+              incr collisions;
+              ok := false
+            end
+            else incr receptions
+          end
+        done;
+        if !ok then begin
+          deliveries := !deliveries + 1;
+          backlog.(i) <- backlog.(i) - 1
+        end)
+      !senders;
+    Array.iter Mobility.step walkers
+  done;
+  {
+    attempts = !attempts;
+    deliveries = !deliveries;
+    receiver_receptions = !receptions;
+    collisions = !collisions;
+    eligible_slot_fraction =
+      (if cfg.duration = 0 then 0.0
+       else float_of_int !eligible_count /. float_of_int (cfg.num_sensors * cfg.duration));
+  }

@@ -1,0 +1,44 @@
+open Lattice
+
+type arena = { x_min : float; x_max : float; y_min : float; y_max : float }
+
+type walker = {
+  arena : arena;
+  speed : float;
+  pause : int;
+  rng : Prng.Xoshiro.t;
+  mutable pos : Voronoi.point2;
+  mutable target : Voronoi.point2;
+  mutable pausing : int;
+}
+
+let random_point arena rng =
+  {
+    Voronoi.px = arena.x_min +. Prng.Xoshiro.float rng (arena.x_max -. arena.x_min);
+    py = arena.y_min +. Prng.Xoshiro.float rng (arena.y_max -. arena.y_min);
+  }
+
+let create arena ~speed ~pause ~rng ~start =
+  assert (speed > 0.0 && pause >= 0);
+  { arena; speed; pause; rng; pos = start; target = random_point arena rng; pausing = 0 }
+
+let position w = w.pos
+
+let step w =
+  if w.pausing > 0 then w.pausing <- w.pausing - 1
+  else begin
+    let dx = w.target.Voronoi.px -. w.pos.Voronoi.px in
+    let dy = w.target.Voronoi.py -. w.pos.Voronoi.py in
+    let d = Float.hypot dx dy in
+    if d <= w.speed then begin
+      w.pos <- w.target;
+      w.pausing <- w.pause;
+      w.target <- random_point w.arena w.rng
+    end
+    else
+      w.pos <-
+        {
+          Voronoi.px = w.pos.Voronoi.px +. (dx /. d *. w.speed);
+          py = w.pos.Voronoi.py +. (dy /. d *. w.speed);
+        }
+  end

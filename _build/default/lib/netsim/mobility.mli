@@ -1,0 +1,18 @@
+(** Random-waypoint mobility for the mobile-sensor experiment.
+
+    Sensors move in a continuous rectangular arena: pick a uniform target,
+    glide toward it at constant speed, pause, repeat.  Positions advance
+    once per slot.  Used with {!Mobile_sim} to exercise the conclusions'
+    location-based schedule. *)
+
+type arena = { x_min : float; x_max : float; y_min : float; y_max : float }
+
+type walker
+
+val create :
+  arena -> speed:float -> pause:int -> rng:Prng.Xoshiro.t -> start:Lattice.Voronoi.point2 -> walker
+
+val position : walker -> Lattice.Voronoi.point2
+
+val step : walker -> unit
+(** Advance one slot. *)

@@ -1,0 +1,66 @@
+(** The slotted-network simulation engine.
+
+    Sensors sit on a [width x height] window of the square lattice and
+    share one channel under the paper's binary interference model: the
+    broadcast of the sensor at [s] reaches exactly the grid points of
+    [s + N].  A reception at [r] succeeds iff exactly one transmitter
+    reaches [r] in that slot and [r] itself is silent; a broadcast counts
+    as {e delivered} when every intended receiver got it, otherwise the
+    attempt is a collision and the packet stays queued for retry
+    (senders get immediate, idealized feedback - this favors the
+    contention baselines, never the TDMA schedules).
+
+    Channel ablations relax the binary model:
+    - [capture]: when several transmissions reach a receiver, the unique
+      nearest (Chebyshev) transmitter is still decoded - the classic
+      capture effect.  With it on, contention protocols lose fewer
+      receptions; the schedule's guarantee is unaffected.
+    - [loss_prob]: each (sender, receiver, slot) reception independently
+      erased with this probability - fading/noise.  This breaks even
+      TDMA's 100% delivery, but never causes {e collisions}.
+
+    Per-slot accounting: transmitters pay [tx_cost], every node hearing at
+    least one transmission pays [rx_cost], everyone else pays
+    [idle_cost].  All randomness is drawn from per-node streams split off
+    the run seed, so runs are reproducible. *)
+
+type config = {
+  width : int;
+  height : int;
+  prototile : Lattice.Prototile.t;
+  neighborhoods : (Zgeom.Vec.t -> Lattice.Prototile.t) option;
+      (** Heterogeneous deployments (rule D1 of Section 4): when set, each
+          position's interference prototile comes from this function and
+          [prototile] is ignored for propagation. Use
+          [Tiling.Multi.tile_of] to deploy per the paper's scheme. *)
+  workload : Workload.spec;
+  mac : Mac.factory;
+  duration : int;  (** slots *)
+  seed : int64;
+  energy_model : Energy.model;
+  queue_capacity : int;  (** packets per node; arrivals beyond are dropped *)
+  capture : bool;  (** capture effect (default false: pure binary model) *)
+  loss_prob : float;  (** independent reception-erasure probability *)
+  trace : Trace.t option;  (** when set, the engine records per-event history *)
+}
+
+val default_config : mac:Mac.factory -> config
+(** 10x10 grid, Chebyshev ball radius 1 (homogeneous), periodic traffic
+    (1 packet per 50 slots), 2000 slots, seed 42, default energy, queue
+    32, no capture, no loss. *)
+
+type result = {
+  mac_name : string;
+  num_nodes : int;
+  stats : Stats.snapshot;
+  drops : int;  (** arrivals lost to full queues *)
+  backlog : int;  (** packets still queued at the end *)
+  fairness : float;  (** Jain index of per-node delivered counts (1 = perfectly fair) *)
+}
+
+val run : config -> result
+
+val pp_result : Format.formatter -> result -> unit
+
+val conservation_ok : result -> bool
+(** Invariant: arrivals = delivered + drops + backlog. *)

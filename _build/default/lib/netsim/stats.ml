@@ -1,0 +1,98 @@
+(* Small growable int buffer (OCaml 5.1's stdlib has no Dynarray). *)
+module Buf = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create () = { data = [||]; len = 0 }
+
+  let push d v =
+    if d.len = Array.length d.data then begin
+      let nd = Array.make (max 64 (2 * d.len)) 0 in
+      Array.blit d.data 0 nd 0 d.len;
+      d.data <- nd
+    end;
+    d.data.(d.len) <- v;
+    d.len <- d.len + 1
+
+  let to_sorted_array d =
+    let a = Array.sub d.data 0 d.len in
+    Array.sort Stdlib.compare a;
+    a
+end
+
+type t = {
+  mutable arrivals : int;
+  mutable attempts : int;
+  mutable delivered : int;
+  mutable collisions : int;
+  mutable fades : int;
+  mutable receiver_losses : int;
+  mutable energy : float;
+  latencies : Buf.t;
+}
+
+let create () =
+  { arrivals = 0; attempts = 0; delivered = 0; collisions = 0; fades = 0;
+    receiver_losses = 0; energy = 0.0; latencies = Buf.create () }
+
+let record_arrival t = t.arrivals <- t.arrivals + 1
+let record_attempt t = t.attempts <- t.attempts + 1
+
+let record_delivery t ~latency =
+  t.delivered <- t.delivered + 1;
+  Buf.push t.latencies latency
+
+let record_collision t = t.collisions <- t.collisions + 1
+let record_fade t = t.fades <- t.fades + 1
+let record_receiver_loss t n = t.receiver_losses <- t.receiver_losses + n
+let add_energy t e = t.energy <- t.energy +. e
+
+type snapshot = {
+  arrivals : int;
+  attempts : int;
+  delivered : int;
+  collisions : int;
+  fades : int;
+  receiver_losses : int;
+  delivery_ratio : float;
+  collision_rate : float;
+  mean_latency : float;
+  p95_latency : float;
+  max_latency : int;
+  energy : float;
+  energy_per_delivery : float;
+}
+
+let snapshot t =
+  let lat = Buf.to_sorted_array t.latencies in
+  let n = Array.length lat in
+  let mean =
+    if n = 0 then 0.0 else float_of_int (Array.fold_left ( + ) 0 lat) /. float_of_int n
+  in
+  let percentile p =
+    if n = 0 then 0.0 else float_of_int lat.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  {
+    arrivals = t.arrivals;
+    attempts = t.attempts;
+    delivered = t.delivered;
+    collisions = t.collisions;
+    fades = t.fades;
+    receiver_losses = t.receiver_losses;
+    delivery_ratio =
+      (if t.arrivals = 0 then 1.0 else float_of_int t.delivered /. float_of_int t.arrivals);
+    collision_rate =
+      (if t.attempts = 0 then 0.0 else float_of_int t.collisions /. float_of_int t.attempts);
+    mean_latency = mean;
+    p95_latency = percentile 0.95;
+    max_latency = (if n = 0 then 0 else lat.(n - 1));
+    energy = t.energy;
+    energy_per_delivery =
+      (if t.delivered = 0 then Float.infinity else t.energy /. float_of_int t.delivered);
+  }
+
+let pp_snapshot fmt s =
+  Format.fprintf fmt
+    "arrivals=%d attempts=%d delivered=%d collisions=%d delivery=%.3f coll_rate=%.3f \
+     lat_mean=%.1f lat_p95=%.1f energy/del=%.2f"
+    s.arrivals s.attempts s.delivered s.collisions s.delivery_ratio s.collision_rate
+    s.mean_latency s.p95_latency s.energy_per_delivery

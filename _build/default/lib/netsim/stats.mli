@@ -1,0 +1,46 @@
+(** Simulation statistics.
+
+    One accumulator per run; the engine feeds it and {!snapshot} freezes
+    the quantities the experiments report: delivery ratio, collision rate,
+    mean/percentile latency, energy per delivered broadcast. *)
+
+type t
+
+val create : unit -> t
+
+val record_arrival : t -> unit
+val record_attempt : t -> unit
+val record_delivery : t -> latency:int -> unit
+(** A broadcast received collision-free by all intended receivers. *)
+
+val record_collision : t -> unit
+(** An attempt that lost at least one intended receiver to interference. *)
+
+val record_fade : t -> unit
+(** An attempt that lost receivers to channel erasures only (no
+    interference involved); only possible when the simulator's
+    [loss_prob] ablation is on. *)
+
+val record_receiver_loss : t -> int -> unit
+(** Number of (sender, receiver) receptions destroyed in a slot. *)
+
+val add_energy : t -> float -> unit
+
+type snapshot = {
+  arrivals : int;
+  attempts : int;
+  delivered : int;
+  collisions : int;
+  fades : int;
+  receiver_losses : int;
+  delivery_ratio : float;  (** delivered / arrivals (1.0 when no arrivals) *)
+  collision_rate : float;  (** collided attempts / attempts *)
+  mean_latency : float;  (** slots from arrival to successful broadcast *)
+  p95_latency : float;
+  max_latency : int;
+  energy : float;
+  energy_per_delivery : float;
+}
+
+val snapshot : t -> snapshot
+val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,148 @@
+open Zgeom
+open Lattice
+
+type config = {
+  width : int;
+  height : int;
+  prototile : Prototile.t;
+  schedule : Core.Schedule.t;
+  root : Vec.t;
+  resync_period : int;
+  drift_ppm : float;
+  hop_jitter : float;
+  duration : int;
+  seed : int64;
+}
+
+type result = {
+  max_clock_error : float;
+  mean_clock_error : float;
+  sync_latency : int;
+  tdma_violations : int;
+  beacons_sent : int;
+}
+
+let run cfg =
+  let n = cfg.width * cfg.height in
+  assert (n > 0 && cfg.duration >= 0);
+  let pos = Array.init n (fun i -> Vec.make2 (i mod cfg.width) (i / cfg.width)) in
+  let index_of = Hashtbl.create n in
+  Array.iteri (fun i v -> Hashtbl.add index_of v i) pos;
+  let root =
+    match Hashtbl.find_opt index_of cfg.root with
+    | Some i -> i
+    | None -> invalid_arg "Timesync.run: root outside the grid"
+  in
+  let cells = Prototile.cells cfg.prototile in
+  let reach =
+    Array.init n (fun i ->
+        List.filter_map
+          (fun c ->
+            match Hashtbl.find_opt index_of (Vec.add pos.(i) c) with
+            | Some j when j <> i -> Some j
+            | _ -> None)
+          cells)
+  in
+  let rng = Prng.Xoshiro.create cfg.seed in
+  let rate =
+    Array.init n (fun _ -> (Prng.Xoshiro.float rng 2.0 -. 1.0) *. cfg.drift_ppm *. 1e-6)
+  in
+  (* Local clocks start with up-to-one-slot phase error. *)
+  let clock = Array.init n (fun _ -> Prng.Xoshiro.float rng 1.0 -. 0.5) in
+  let wave = Array.make n (-1) in
+  (* pending_rebroadcast.(i): Some wave_id when i must forward the beacon
+     at its next own schedule slot. *)
+  let pending = Array.make n None in
+  let m = Core.Schedule.num_slots cfg.schedule in
+  let diff = Prototile.difference_set cfg.prototile in
+  let beacons = ref 0 in
+  let synced_once = Array.make n false in
+  let sync_latency = ref (-1) in
+  let max_err = ref 0.0 in
+  let err_sum = ref 0.0 in
+  let err_count = ref 0 in
+  let violations = ref 0 in
+  for t = 0 to cfg.duration - 1 do
+    (* 1. Clocks drift. *)
+    for i = 0 to n - 1 do
+      clock.(i) <- clock.(i) +. 1.0 +. rate.(i)
+    done;
+    (* 2. Root starts a wave. *)
+    if cfg.resync_period > 0 && t mod cfg.resync_period = 0 then begin
+      let wave_id = t / cfg.resync_period in
+      clock.(root) <- float_of_int t;
+      wave.(root) <- wave_id;
+      synced_once.(root) <- true;
+      pending.(root) <- Some wave_id
+    end;
+    (* 3. Nodes whose slot it is forward the beacon. *)
+    let carriers =
+      List.filter
+        (fun i ->
+          pending.(i) <> None && Core.Schedule.slot_at cfg.schedule pos.(i) = t mod m)
+        (List.init n Fun.id)
+    in
+    let hit = Array.make n 0 in
+    let from = Array.make n (-1) in
+    List.iter
+      (fun i ->
+        incr beacons;
+        List.iter
+          (fun r ->
+            hit.(r) <- hit.(r) + 1;
+            from.(r) <- i)
+          reach.(i))
+      carriers;
+    List.iter (fun i -> pending.(i) <- None) carriers;
+    (* 4. Collision-free receptions adopt fresher beacons. *)
+    for r = 0 to n - 1 do
+      if hit.(r) = 1 then begin
+        let s = from.(r) in
+        match pending.(r) with
+        | Some _ -> () (* already carrying; skip *)
+        | None ->
+          (* Beacon value: the sender's own clock (its estimate of t). *)
+          let w = wave.(s) in
+          if w > wave.(r) then begin
+            let eps = (Prng.Xoshiro.float rng 2.0 -. 1.0) *. cfg.hop_jitter in
+            clock.(r) <- clock.(s) +. eps;
+            wave.(r) <- w;
+            synced_once.(r) <- true;
+            pending.(r) <- Some w
+          end
+      end
+    done;
+    if !sync_latency < 0 && Array.for_all Fun.id synced_once then sync_latency := t;
+    (* 5. Clock-error statistics (only once the first wave completed). *)
+    if !sync_latency >= 0 then
+      for i = 0 to n - 1 do
+        let e = Float.abs (clock.(i) -. float_of_int t) in
+        if e > !max_err then max_err := e;
+        err_sum := !err_sum +. e;
+        incr err_count
+      done;
+    (* 6. TDMA on local clocks: count interfering same-slot sends under a
+       saturated workload. *)
+    let sends =
+      Array.init n (fun i ->
+          let local_slot = ((int_of_float (Float.round clock.(i)) mod m) + m) mod m in
+          local_slot = Core.Schedule.slot_at cfg.schedule pos.(i))
+    in
+    for i = 0 to n - 1 do
+      if sends.(i) then
+        Vec.Set.iter
+          (fun d ->
+            if not (Vec.is_zero d) then
+              match Hashtbl.find_opt index_of (Vec.add pos.(i) d) with
+              | Some j when j > i && sends.(j) -> incr violations
+              | _ -> ())
+          diff
+    done
+  done;
+  {
+    max_clock_error = !max_err;
+    mean_clock_error = (if !err_count = 0 then 0.0 else !err_sum /. float_of_int !err_count);
+    sync_latency = !sync_latency;
+    tdma_violations = !violations;
+    beacons_sent = !beacons;
+  }

@@ -1,0 +1,54 @@
+(** Time synchronization: the substrate behind "assume the sensors have
+    access to the current time".
+
+    The paper's schedules need a shared slot counter.  This module
+    simulates the standard way sensors get one: a designated root floods
+    periodic beacons; each beacon carries the root's slot number and
+    propagates one hop per slot through the interference graph (a
+    receiver within range of exactly one beaconing node decodes it, adds
+    one for the hop, adopts the value, and rebroadcasts in the next
+    slot).  Between resynchronization waves, every node's local clock
+    drifts at its own rate.
+
+    Flooding is simulated under the same binary-interference medium as
+    {!Sim}: simultaneous rebroadcasts by two nodes covering a common
+    receiver would collide, so the flood rebroadcasts are staggered by
+    the lattice schedule itself - nodes rebroadcast a freshly received
+    beacon at their next own slot.  This makes the sync wave
+    collision-free by Theorem 1 and costs at most [m] extra slots per
+    hop.
+
+    The experiment the harness runs: sweep the resync period and the
+    drift rate, and report (a) the maximum clock error right before a
+    resync and (b) how many schedule violations (same-slot interfering
+    sends) the residual error causes when the TDMA schedule runs on the
+    synchronized clocks. *)
+
+type config = {
+  width : int;
+  height : int;
+  prototile : Lattice.Prototile.t;
+  schedule : Core.Schedule.t;  (** also staggers beacon rebroadcasts *)
+  root : Zgeom.Vec.t;  (** beacon source; must lie in the grid *)
+  resync_period : int;  (** slots between beacon waves; 0 = never resync *)
+  drift_ppm : float;  (** clock-rate error bound: each node's rate is
+                          drawn uniformly from [-drift_ppm, +drift_ppm]
+                          parts per million *)
+  hop_jitter : float;  (** per-hop timestamping uncertainty, in slots:
+                           a node adopting a beacon picks up a uniform
+                           error in [-hop_jitter, +hop_jitter] *)
+  duration : int;
+  seed : int64;
+}
+
+type result = {
+  max_clock_error : float;  (** worst |local - true| over nodes and time, in slots *)
+  mean_clock_error : float;
+  sync_latency : int;  (** slots for the first wave to reach every node *)
+  tdma_violations : int;
+      (** same-slot interfering transmissions caused by clock error when
+          the TDMA schedule runs on local clocks *)
+  beacons_sent : int;
+}
+
+val run : config -> result

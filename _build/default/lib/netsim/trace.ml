@@ -1,0 +1,72 @@
+type outcome = [ `Delivered | `Collided | `Faded ]
+
+type event =
+  | Arrived of { node : int; time : int }
+  | Sent of { node : int; time : int; outcome : outcome }
+  | Dropped of { node : int; time : int }
+
+type t = {
+  capacity : int;
+  buffer : event option array;
+  mutable next : int;  (* ring position *)
+  mutable total : int;
+}
+
+let create ?(capacity = 100_000) () =
+  assert (capacity > 0);
+  { capacity; buffer = Array.make capacity None; next = 0; total = 0 }
+
+let record t e =
+  t.buffer.(t.next) <- Some e;
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+let length t = min t.total t.capacity
+let dropped_events t = max 0 (t.total - t.capacity)
+
+let events t =
+  let n = length t in
+  let start = if t.total <= t.capacity then 0 else t.next in
+  List.init n (fun i ->
+      match t.buffer.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let to_log t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      let line =
+        match e with
+        | Arrived { node; time } -> Printf.sprintf "t=%d node=%d arrival" time node
+        | Sent { node; time; outcome } ->
+          Printf.sprintf "t=%d node=%d sent: %s" time node
+            (match outcome with
+            | `Delivered -> "delivered"
+            | `Collided -> "collided"
+            | `Faded -> "faded")
+        | Dropped { node; time } -> Printf.sprintf "t=%d node=%d queue drop" time node
+      in
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf
+
+let timeline t ~node ~horizon =
+  let chars = Bytes.make horizon '.' in
+  let set time c ~weak =
+    if 0 <= time && time < horizon then
+      if (not weak) || Bytes.get chars time = '.' then Bytes.set chars time c
+  in
+  List.iter
+    (fun e ->
+      match e with
+      | Arrived a when a.node = node -> set a.time 'a' ~weak:true
+      | Dropped d when d.node = node -> set d.time 'x' ~weak:false
+      | Sent s when s.node = node ->
+        set s.time
+          (match s.outcome with `Delivered -> 'D' | `Collided -> 'C' | `Faded -> 'F')
+          ~weak:false
+      | Arrived _ | Dropped _ | Sent _ -> ())
+    (events t);
+  Bytes.to_string chars

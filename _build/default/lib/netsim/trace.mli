@@ -1,0 +1,40 @@
+(** Structured event traces of simulation runs.
+
+    When debugging a MAC protocol (or demonstrating one), aggregate
+    statistics are not enough - you want to see {e who} transmitted
+    {e when} and what happened.  A trace is an append-only event log the
+    engine fills when [Sim.config.trace] is set; it can be rendered as a
+    log or as per-node timelines (one character per slot).
+
+    Traces of collision-free schedules show their signature pattern
+    instantly: transmissions marching diagonally through the slot
+    structure with never a 'C'. *)
+
+type outcome = [ `Delivered | `Collided | `Faded ]
+
+type event =
+  | Arrived of { node : int; time : int }
+  | Sent of { node : int; time : int; outcome : outcome }
+  | Dropped of { node : int; time : int }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds memory (default 100_000 events); once full, the
+    oldest events are discarded. *)
+
+val record : t -> event -> unit
+val events : t -> event list
+(** In chronological order. *)
+
+val length : t -> int
+val dropped_events : t -> int
+(** Events discarded due to the capacity bound. *)
+
+val to_log : t -> string
+(** One line per event: "t=12 node=5 sent: delivered". *)
+
+val timeline : t -> node:int -> horizon:int -> string
+(** One character per slot for one node: '.' idle, 'a' arrival, 'D'
+    delivered send, 'C' collided send, 'F' faded send, 'x' queue drop.
+    When several events hit one slot the send outcome wins. *)

@@ -1,0 +1,44 @@
+type spec =
+  | Periodic of { interval : int }
+  | Poisson of { rate : float }
+  | Bursty of { burst : int; gap_mean : float }
+
+type gen = { spec : spec; rng : Prng.Xoshiro.t; mutable burst_left : int }
+
+let create spec rng =
+  (match spec with
+  | Periodic { interval } -> assert (interval > 0)
+  | Poisson { rate } -> assert (rate > 0.0)
+  | Bursty { burst; gap_mean } -> assert (burst > 0 && gap_mean > 0.0));
+  { spec; rng; burst_left = 0 }
+
+let exponential_gap rng mean = 1 + int_of_float (Prng.Xoshiro.exponential rng (1.0 /. mean))
+
+let first_arrival g =
+  match g.spec with
+  | Periodic { interval } -> Prng.Xoshiro.int g.rng interval
+  | Poisson { rate } -> int_of_float (Prng.Xoshiro.exponential g.rng rate)
+  | Bursty { burst; gap_mean } ->
+    g.burst_left <- burst - 1;
+    exponential_gap g.rng gap_mean
+
+let next_arrival g ~after =
+  match g.spec with
+  | Periodic { interval } -> after + interval
+  | Poisson { rate } -> after + 1 + int_of_float (Prng.Xoshiro.exponential g.rng rate)
+  | Bursty { burst; gap_mean } ->
+    if g.burst_left > 0 then begin
+      g.burst_left <- g.burst_left - 1;
+      after + 1
+    end
+    else begin
+      g.burst_left <- burst - 1;
+      after + exponential_gap g.rng gap_mean
+    end
+
+let expected_rate = function
+  | Periodic { interval } -> 1.0 /. float_of_int interval
+  | Poisson { rate } -> rate
+  | Bursty { burst; gap_mean } ->
+    (* One burst of [burst] packets per (gap + burst) slots on average. *)
+    float_of_int burst /. (gap_mean +. float_of_int burst)

@@ -1,0 +1,29 @@
+(** Traffic generation.
+
+    Each node owns an independent deterministic stream of packet-arrival
+    events, scheduled on the simulator's event heap:
+
+    - [Periodic]: one packet every [interval] slots, with a random phase
+      (the classic sensing-report pattern the paper's setting implies);
+    - [Poisson]: memoryless arrivals at [rate] packets/slot;
+    - [Bursty]: geometric bursts of back-to-back packets separated by
+      exponential gaps (stress test for queues). *)
+
+type spec =
+  | Periodic of { interval : int }
+  | Poisson of { rate : float }
+  | Bursty of { burst : int; gap_mean : float }
+
+type gen
+(** Per-node generator state. *)
+
+val create : spec -> Prng.Xoshiro.t -> gen
+
+val first_arrival : gen -> int
+(** Slot of the node's first packet (>= 0). *)
+
+val next_arrival : gen -> after:int -> int
+(** Slot of the next packet strictly after the given slot. *)
+
+val expected_rate : spec -> float
+(** Mean packets per slot per node, for load accounting in experiments. *)

@@ -1,0 +1,1 @@
+lib/prng/xoshiro.ml: Array Int64 Splitmix64

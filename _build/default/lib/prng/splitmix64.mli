@@ -1,0 +1,18 @@
+(** SplitMix64: a fast, well-distributed 64-bit generator.
+
+    Used both as a generator in its own right and to seed {!Xoshiro}.
+    The state is a single [int64]; [next] advances it by the golden-gamma
+    constant and returns a mixed output.  Reference: Steele, Lea, Flood,
+    "Fast splittable pseudorandom number generators" (OOPSLA 2014). *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] makes a generator from an arbitrary 64-bit seed. *)
+
+val next : t -> int64
+(** Advance the state and return the next 64-bit output. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)

@@ -1,0 +1,73 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let create seed =
+  let sm = Splitmix64.create seed in
+  let s0 = Splitmix64.next sm in
+  let s1 = Splitmix64.next sm in
+  let s2 = Splitmix64.next sm in
+  let s3 = Splitmix64.next sm in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k = Int64.(logor (shift_left x k) (shift_right_logical x (64 - k)))
+
+let next64 t =
+  let result = Int64.(mul (rotl (mul t.s1 5L) 7) 9L) in
+  let tt = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tt;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = create (next64 t)
+
+let int t bound =
+  assert (bound > 0);
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let rec draw () =
+    let r = Int64.shift_right_logical (next64 t) 1 in
+    let v = Int64.rem r bound64 in
+    if Int64.(sub r v > sub (sub max_int bound64) 1L) then draw () else Int64.to_int v
+  in
+  draw ()
+
+let float t x =
+  (* 53 uniform bits mapped to [0, 1). *)
+  let bits = Int64.shift_right_logical (next64 t) 11 in
+  let unit = Int64.to_float bits *. 0x1p-53 in
+  unit *. x
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let exponential t rate =
+  assert (rate > 0.);
+  let u = 1.0 -. float t 1.0 in
+  -.log u /. rate
+
+let poisson t lambda =
+  assert (lambda >= 0.);
+  let limit = exp (-.lambda) in
+  let rec loop k p =
+    let p = p *. float t 1.0 in
+    if p <= limit then k else loop (k + 1) p
+  in
+  loop 0 1.0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))

@@ -1,0 +1,47 @@
+(** Xoshiro256**: the library's main pseudorandom generator.
+
+    Deterministic and splittable: [split] derives an independent stream, so
+    simulator components can draw randomness without perturbing each other.
+    Reference: Blackman & Vigna, "Scrambled linear pseudorandom number
+    generators" (ACM TOMS 2021). *)
+
+type t
+(** Mutable generator state (256 bits). *)
+
+val create : int64 -> t
+(** [create seed] seeds the four state words via SplitMix64. *)
+
+val split : t -> t
+(** [split t] draws from [t] to seed a statistically independent stream. *)
+
+val copy : t -> t
+(** Snapshot of the current state. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0];
+    unbiased via rejection sampling. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)] with 53-bit resolution. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val exponential : t -> float -> float
+(** [exponential t rate] draws from Exp(rate); used for Poisson arrivals. *)
+
+val poisson : t -> float -> int
+(** [poisson t lambda] draws from Poisson(lambda) by Knuth's method
+    (suitable for the small means used in workload generation). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

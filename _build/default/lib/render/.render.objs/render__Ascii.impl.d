@@ -1,0 +1,1 @@
+lib/render/ascii.ml: Buffer Char Core Format Hashtbl Lattice Tiling Vec Zgeom

@@ -1,0 +1,1 @@
+lib/render/ascii.mli: Core Lattice Tiling

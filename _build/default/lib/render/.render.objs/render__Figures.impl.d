@@ -1,0 +1,1 @@
+lib/render/figures.ml: Ascii Core Filename Fun Lattice List Printf Prototile String Sublattice Svg Sys Tiling Vec Voronoi Zgeom

@@ -1,0 +1,1 @@
+lib/render/plot.ml: Array Buffer Float List Printf String

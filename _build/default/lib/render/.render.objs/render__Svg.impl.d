@@ -1,0 +1,1 @@
+lib/render/svg.ml: Array Buffer Float List Printf String

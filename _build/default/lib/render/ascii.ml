@@ -1,0 +1,60 @@
+open Zgeom
+
+let grid ~width ~height ~char_at =
+  let buf = Buffer.create (height * (width + 1)) in
+  for y = height - 1 downto 0 do
+    for x = 0 to width - 1 do
+      Buffer.add_char buf (char_at ~x ~y)
+    done;
+    if y > 0 then Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let slot_char s =
+  if s < 0 then '?'
+  else if s < 10 then Char.chr (Char.code '0' + s)
+  else if s < 36 then Char.chr (Char.code 'a' + s - 10)
+  else '?'
+
+let schedule sched ~width ~height =
+  grid ~width ~height ~char_at:(fun ~x ~y ->
+      slot_char (Core.Schedule.slot_at sched (Vec.make2 x y)))
+
+let letter_for k base span = Char.chr (Char.code base + (k mod span))
+
+let tiling t ~width ~height =
+  (* Label each tile by a letter derived from its anchor so neighbouring
+     tiles (whose anchors differ) usually get different letters. *)
+  let anchors = Hashtbl.create 64 in
+  let next = ref 0 in
+  grid ~width ~height ~char_at:(fun ~x ~y ->
+      let s, _ = Tiling.Single.tile_of t (Vec.make2 x y) in
+      let k =
+        match Hashtbl.find_opt anchors s with
+        | Some k -> k
+        | None ->
+          let k = !next in
+          incr next;
+          Hashtbl.add anchors s k;
+          k
+      in
+      letter_for k 'a' 26)
+
+let multi_tiling m ~width ~height =
+  let anchors = Hashtbl.create 64 in
+  let next = ref 0 in
+  grid ~width ~height ~char_at:(fun ~x ~y ->
+      let piece, s, _ = Tiling.Multi.tile_of m (Vec.make2 x y) in
+      let k =
+        match Hashtbl.find_opt anchors (piece, s) with
+        | Some k -> k
+        | None ->
+          let k = !next in
+          incr next;
+          Hashtbl.add anchors (piece, s) k;
+          k
+      in
+      if piece = 0 then letter_for k 'a' 13 else letter_for k 'n' 13)
+
+let prototile p =
+  Format.asprintf "%a" Lattice.Prototile.pp p

@@ -1,0 +1,24 @@
+(** ASCII rendering of windows of [Z^2].
+
+    Rows are printed top to bottom with [y] decreasing, so pictures match
+    the usual mathematical orientation of the paper's figures. *)
+
+val grid : width:int -> height:int -> char_at:(x:int -> y:int -> char) -> string
+(** A [height]-line picture of the window [\[0, width) x \[0, height)]. *)
+
+val slot_char : int -> char
+(** Slots 0-9 as digits, 10-35 as letters, '?' beyond. *)
+
+val schedule : Core.Schedule.t -> width:int -> height:int -> string
+(** Each point labelled by its slot (Figure 3's labelling). *)
+
+val tiling : Tiling.Single.t -> width:int -> height:int -> string
+(** Each point labelled by a letter identifying its covering tile, so
+    tiles are visually distinguishable. *)
+
+val multi_tiling : Tiling.Multi.t -> width:int -> height:int -> string
+(** Like {!tiling}; tiles of different prototiles get disjoint letter
+    ranges (a.. for piece 0, n.. for piece 1, ...). *)
+
+val prototile : Lattice.Prototile.t -> string
+(** '#' cells and 'O' origin on the bounding box (Figure 2 style). *)

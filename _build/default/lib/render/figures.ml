@@ -1,0 +1,205 @@
+open Zgeom
+open Lattice
+
+type figure = { name : string; ascii : string; svg : Svg.doc }
+
+let fig1_lattices () =
+  let doc = Svg.create ~width:14.0 ~height:6.0 in
+  let draw_lattice ~origin_x embed label =
+    List.iter
+      (fun (a, b) ->
+        let p = embed (Vec.make2 a b) in
+        Svg.circle doc ~cx:(origin_x +. p.Voronoi.px +. 1.0) ~cy:(p.Voronoi.py +. 1.0) ~r:0.07
+          ~fill:"black")
+      (List.concat_map (fun a -> List.init 4 (fun b -> (a, b))) (List.init 5 Fun.id));
+    let e1 = embed (Vec.make2 1 0) and e2 = embed (Vec.make2 0 1) in
+    Svg.arrow doc ~x1:(origin_x +. 1.0) ~y1:1.0 ~x2:(origin_x +. 1.0 +. e1.Voronoi.px)
+      ~y2:(1.0 +. e1.Voronoi.py) ~stroke:"#e15759";
+    Svg.arrow doc ~x1:(origin_x +. 1.0) ~y1:1.0 ~x2:(origin_x +. 1.0 +. e2.Voronoi.px)
+      ~y2:(1.0 +. e2.Voronoi.py) ~stroke:"#4e79a7";
+    Svg.text doc ~x:(origin_x +. 3.0) ~y:5.5 ~size:0.35 label
+  in
+  draw_lattice ~origin_x:0.0 Voronoi.embed_square "square lattice L_S";
+  draw_lattice ~origin_x:7.5 Voronoi.embed_hex "hexagonal lattice L_H";
+  let ascii =
+    String.concat "\n"
+      [ "square lattice (basis (1,0),(0,1)):";
+        Ascii.grid ~width:7 ~height:5 ~char_at:(fun ~x:_ ~y:_ -> '.');
+        "hexagonal lattice (basis (1,0),(1/2,sqrt3/2)): rows offset by 1/2";
+        String.concat "\n"
+          (List.init 5 (fun r -> String.make (r mod 2) ' ' ^ ". . . . . . ." |> String.trim)) ]
+  in
+  { name = "fig1_lattices"; ascii; svg = doc }
+
+let neighborhood_examples () =
+  [ ("chebyshev r=1", Prototile.chebyshev_ball ~dim:2 1);
+    ("euclidean r=1", Prototile.euclidean_ball ~dim:2 1);
+    ("directional 2x4", Prototile.directional) ]
+
+let fig2_neighborhoods () =
+  let doc = Svg.create ~width:16.0 ~height:7.0 in
+  List.iteri
+    (fun i (label, p) ->
+      let ox = (float_of_int i *. 5.5) +. 1.5 in
+      List.iter
+        (fun c ->
+          let x = ox +. float_of_int (Vec.x c) and y = 3.0 +. float_of_int (Vec.y c) in
+          Svg.text doc ~x ~y ~size:0.4 "x";
+          if Vec.is_zero c then Svg.circle doc ~cx:x ~cy:y ~r:0.3 ~fill:"none")
+        (Prototile.cells p);
+      List.iter
+        (fun c ->
+          if Vec.is_zero c then
+            Svg.circle doc ~cx:ox ~cy:3.0 ~r:0.08 ~fill:"#e15759")
+        (Prototile.cells p);
+      Svg.text doc ~x:(ox +. 0.5) ~y:6.3 ~size:0.3 label)
+    (neighborhood_examples ());
+  let ascii =
+    String.concat "\n\n"
+      (List.map
+         (fun (label, p) -> label ^ " (m=" ^ string_of_int (Prototile.size p) ^ "):\n" ^ Ascii.prototile p)
+         (neighborhood_examples ()))
+  in
+  { name = "fig2_neighborhoods"; ascii; svg = doc }
+
+let directional_tiling () =
+  match Tiling.Search.find_lattice_tiling Prototile.directional with
+  | Some t -> t
+  | None -> failwith "directional prototile must tile"
+
+let fig3_schedule () =
+  let t = directional_tiling () in
+  let sched = Core.Schedule.of_tiling t in
+  let w = 12 and h = 10 in
+  let doc = Svg.create ~width:(float_of_int w +. 1.0) ~height:(float_of_int h +. 1.0) in
+  for x = 0 to w - 1 do
+    for y = 0 to h - 1 do
+      let v = Vec.make2 x y in
+      let s, _ = Tiling.Single.tile_of t v in
+      let slot = Core.Schedule.slot_at sched v in
+      let k = (Vec.x s * 31) + (Vec.y s * 17) in
+      Svg.rect doc ~x:(float_of_int x +. 0.5) ~y:(float_of_int y +. 0.5) ~w:1.0 ~h:1.0
+        ~fill:(Svg.palette k) ~stroke:"black" ();
+      Svg.text doc ~x:(float_of_int x +. 1.0) ~y:(float_of_int y +. 1.0) ~size:0.4
+        (string_of_int (slot + 1))
+    done
+  done;
+  let ascii =
+    "tiling by 2x4 directional prototile (tiles as letters):\n"
+    ^ Ascii.tiling t ~width:w ~height:h
+    ^ "\n\nTheorem-1 schedule (slot at each sensor, 1..8 shown 0..7):\n"
+    ^ Ascii.schedule sched ~width:w ~height:h
+  in
+  { name = "fig3_schedule"; ascii; svg = doc }
+
+let fig4_voronoi () =
+  let doc = Svg.create ~width:15.0 ~height:7.0 in
+  (* Square-lattice quasi-polyomino: the P-pentomino's squares. *)
+  let p = Prototile.pentomino `P in
+  List.iter
+    (fun c ->
+      let corners =
+        List.map
+          (fun (rx, ry) -> (2.0 +. Zgeom.Rat.to_float rx, 3.0 +. Zgeom.Rat.to_float ry))
+          (Voronoi.square_cell_corners c)
+      in
+      Svg.polygon doc corners ~fill:"#d0e0f0" ();
+      let pt = Voronoi.embed_square c in
+      Svg.circle doc ~cx:(2.0 +. pt.Voronoi.px) ~cy:(3.0 +. pt.Voronoi.py) ~r:0.06 ~fill:"black")
+    (Prototile.cells p);
+  Svg.text doc ~x:3.0 ~y:6.3 ~size:0.3 "quasi-polyomino (union of square cells)";
+  (* Hexagonal cells. *)
+  List.iter
+    (fun (a, b) ->
+      let v = Vec.make2 a b in
+      let corners =
+        List.map (fun q -> (8.0 +. q.Voronoi.px, 2.5 +. q.Voronoi.py)) (Voronoi.hex_cell_corners v)
+      in
+      Svg.polygon doc corners ~fill:"#f0e0d0" ();
+      let pt = Voronoi.embed_hex v in
+      Svg.circle doc ~cx:(8.0 +. pt.Voronoi.px) ~cy:(2.5 +. pt.Voronoi.py) ~r:0.06 ~fill:"black")
+    [ (0, 0); (1, 0); (2, 0); (0, 1); (1, 1); (0, 2); (1, 2) ];
+  Svg.text doc ~x:10.0 ~y:6.3 ~size:0.3 "quasi-polyhex (union of hexagonal cells)";
+  let ascii =
+    "P-pentomino as quasi-polyomino (cells '#'):\n" ^ Ascii.prototile p
+    ^ "\n\nhexagonal Voronoi cell: regular hexagon, area sqrt(3)/2 = "
+    ^ Printf.sprintf "%.4f" Voronoi.hex_cell_area
+  in
+  { name = "fig4_voronoi"; ascii; svg = doc }
+
+let sz_mixed_tiling () =
+  let s = Prototile.tetromino `S and z = Prototile.tetromino `Z in
+  let period = Sublattice.of_basis [| [| 4; 0 |]; [| 0; 4 |] |] in
+  let sols = Tiling.Search.cover_torus ~period ~prototiles:[ s; z ] ~max_solutions:200 () in
+  let mixed =
+    List.filter
+      (fun m ->
+        List.length (Tiling.Multi.pieces m) = 2 && Core.Optimality.ground_rule_minimum m = 6)
+      sols
+  in
+  match mixed with
+  | m :: _ -> m
+  | [] -> failwith "no 6-slot S/Z tiling found"
+
+let pure_s_tiling () =
+  match Tiling.Search.find_lattice_tiling (Prototile.tetromino `S) with
+  | Some t -> t
+  | None -> failwith "S tetromino must tile"
+
+let fig5_nonrespectable () =
+  let mixed = sz_mixed_tiling () in
+  let sched6 = Core.Schedule.of_multi mixed in
+  let pure = pure_s_tiling () in
+  let sched4 = Core.Schedule.of_tiling pure in
+  let w = 12 and h = 8 in
+  let doc = Svg.create ~width:26.0 ~height:(float_of_int h +. 2.0) in
+  let draw ~ox slot_at tile_key =
+    for x = 0 to w - 1 do
+      for y = 0 to h - 1 do
+        let v = Vec.make2 x y in
+        Svg.rect doc ~x:(ox +. float_of_int x) ~y:(float_of_int y +. 1.0) ~w:1.0 ~h:1.0
+          ~fill:(Svg.palette (tile_key v)) ~stroke:"black" ();
+        Svg.text doc
+          ~x:(ox +. float_of_int x +. 0.5)
+          ~y:(float_of_int y +. 1.5)
+          ~size:0.4
+          (string_of_int (slot_at v + 1))
+      done
+    done
+  in
+  draw ~ox:0.5
+    (Core.Schedule.slot_at sched6)
+    (fun v ->
+      let k, s, _ = Tiling.Multi.tile_of mixed v in
+      (k * 7) + (Vec.x s * 31) + (Vec.y s * 17));
+  draw ~ox:13.5
+    (Core.Schedule.slot_at sched4)
+    (fun v ->
+      let s, _ = Tiling.Single.tile_of pure v in
+      (Vec.x s * 31) + (Vec.y s * 17));
+  Svg.text doc ~x:6.5 ~y:0.5 ~size:0.35 "S/Z mixed tiling: optimal schedule has 6 slots";
+  Svg.text doc ~x:19.5 ~y:0.5 ~size:0.35 "pure S tiling: optimal schedule has 4 slots";
+  let ascii =
+    "S/Z mixed (non-respectable) tiling - tiles as letters (S: a-m, Z: n-z):\n"
+    ^ Ascii.multi_tiling mixed ~width:w ~height:h
+    ^ "\n\nTheorem-2 schedule on it (6 slots, 0..5):\n"
+    ^ Ascii.schedule sched6 ~width:w ~height:h
+    ^ "\n\npure S tiling (4 slots, 0..3):\n"
+    ^ Ascii.schedule sched4 ~width:w ~height:h
+  in
+  { name = "fig5_nonrespectable"; ascii; svg = doc }
+
+let all () =
+  [ fig1_lattices (); fig2_neighborhoods (); fig3_schedule (); fig4_voronoi ();
+    fig5_nonrespectable () ]
+
+let save_all ~dir figures =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun f ->
+      Svg.save f.svg (Filename.concat dir (f.name ^ ".svg"));
+      let oc = open_out (Filename.concat dir (f.name ^ ".txt")) in
+      output_string oc f.ascii;
+      output_char oc '\n';
+      close_out oc)
+    figures

@@ -1,0 +1,32 @@
+(** Regeneration of the paper's five figures.
+
+    Each [figN] returns an ASCII rendering (printed by the bench harness
+    and CLI) and writes an SVG next to it via {!save_all}.  The figures
+    are rebuilt from the library's own machinery - lattices from bases,
+    tilings from the search engines, schedules from Theorems 1/2 - so
+    they double as end-to-end checks. *)
+
+type figure = { name : string; ascii : string; svg : Svg.doc }
+
+val fig1_lattices : unit -> figure
+(** Square and hexagonal lattices with their generating vectors. *)
+
+val fig2_neighborhoods : unit -> figure
+(** Chebyshev ball, Euclidean ball, directional antenna. *)
+
+val fig3_schedule : unit -> figure
+(** Tiling of [Z^2] by the 8-cell directional prototile and its Theorem-1
+    schedule, slot labels at each point. *)
+
+val fig4_voronoi : unit -> figure
+(** Voronoi cells: unit squares (quasi-polyomino) and hexagons
+    (quasi-polyhex). *)
+
+val fig5_nonrespectable : unit -> figure
+(** The S/Z mixed tiling with its 6-slot ground-rule-optimal schedule
+    next to the pure-S tiling with its 4-slot schedule. *)
+
+val all : unit -> figure list
+
+val save_all : dir:string -> figure list -> unit
+(** Writes [<name>.svg] and [<name>.txt] for each figure. *)

@@ -1,0 +1,87 @@
+let bar ?(width = 50) rows =
+  assert (width > 0);
+  let vmax = List.fold_left (fun m (_, v) -> Float.max m v) 0.0 rows in
+  let label_width =
+    List.fold_left (fun m (l, _) -> max m (String.length l)) 0 rows
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (label, v) ->
+      assert (v >= 0.0);
+      let n =
+        if vmax = 0.0 then 0 else int_of_float (Float.round (v /. vmax *. float_of_int width))
+      in
+      Buffer.add_string buf (Printf.sprintf "%-*s |%s %g\n" label_width label (String.make n '#') v))
+    rows;
+  Buffer.contents buf
+
+type series = { label : string; points : (float * float) list }
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '@'; '%' |]
+
+let line ?(width = 60) ?(height = 16) ?(x_label = "x") ?(y_label = "y") ?(log_y = false)
+    series_list =
+  assert (width > 2 && height > 2);
+  let all_points = List.concat_map (fun s -> s.points) series_list in
+  if all_points = [] then "(empty plot)\n"
+  else begin
+    let transform_y y =
+      if log_y then begin
+        assert (y > 0.0);
+        log10 y
+      end
+      else y
+    in
+    let xs = List.map fst all_points in
+    let ys = List.map (fun (_, y) -> transform_y y) all_points in
+    let xmin = List.fold_left Float.min infinity xs in
+    let xmax = List.fold_left Float.max neg_infinity xs in
+    let ymin = List.fold_left Float.min infinity ys in
+    let ymax = List.fold_left Float.max neg_infinity ys in
+    (* Degenerate ranges: widen symmetrically so points land mid-chart. *)
+    let xmin, xmax = if xmax > xmin then (xmin, xmax) else (xmin -. 1.0, xmax +. 1.0) in
+    let ymin, ymax = if ymax > ymin then (ymin, ymax) else (ymin -. 1.0, ymax +. 1.0) in
+    let cell_x x =
+      let t = (x -. xmin) /. (xmax -. xmin) in
+      min (width - 1) (max 0 (int_of_float (t *. float_of_int (width - 1))))
+    in
+    let cell_y y =
+      let t = (y -. ymin) /. (ymax -. ymin) in
+      min (height - 1) (max 0 (int_of_float (t *. float_of_int (height - 1))))
+    in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si s ->
+        let glyph = glyphs.(si mod Array.length glyphs) in
+        List.iter
+          (fun (x, y) -> grid.(cell_y (transform_y y)).(cell_x x) <- glyph)
+          s.points)
+      series_list;
+    let buf = Buffer.create (height * (width + 10)) in
+    let fmt_y row =
+      (* Value at this row (inverse of cell_y, row given top-down). *)
+      let t = float_of_int row /. float_of_int (height - 1) in
+      let y = ymin +. (t *. (ymax -. ymin)) in
+      if log_y then Float.pow 10.0 y else y
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s\n" y_label (if log_y then " (log scale)" else ""));
+    for row = height - 1 downto 0 do
+      Buffer.add_string buf (Printf.sprintf "%10.3g |" (fmt_y row));
+      for col = 0 to width - 1 do
+        Buffer.add_char buf grid.(row).(col)
+      done;
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+    Buffer.add_string buf
+      (Printf.sprintf "%10s  %-*g%*g  (%s)\n" "" (width / 2) xmin (width - (width / 2)) xmax
+         x_label);
+    let legend =
+      List.mapi
+        (fun si s -> Printf.sprintf "%c = %s" glyphs.(si mod Array.length glyphs) s.label)
+        series_list
+    in
+    Buffer.add_string buf ("legend: " ^ String.concat ", " legend ^ "\n");
+    Buffer.contents buf
+  end

@@ -1,0 +1,29 @@
+(** Terminal plotting for experiment output.
+
+    OCaml has no ubiquitous plotting stack, so the harness renders its
+    series as ASCII charts: good enough to see the shapes the paper
+    predicts (flat vs. linear growth, collision explosions) directly in
+    the experiment log.
+
+    Charts are pure string producers - no terminal control codes - so
+    they are diffable and testable. *)
+
+val bar : ?width:int -> (string * float) list -> string
+(** Horizontal bar chart: one labelled row per value, bars scaled to the
+    maximum. Values must be non-negative. *)
+
+type series = { label : string; points : (float * float) list }
+
+val line :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  ?log_y:bool ->
+  series list ->
+  string
+(** Scatter/line chart of one or more series on shared axes.  Each series
+    is drawn with its own glyph ([*], [+], [o], [x], ...); a legend line
+    maps glyphs to labels.  [log_y] plots log10 of the values (all points
+    must then be positive).  Points outside the computed range are
+    clamped; identical x-ranges are handled by centering. *)

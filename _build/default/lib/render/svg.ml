@@ -1,0 +1,71 @@
+type doc = { width : float; height : float; body : Buffer.t }
+
+let create ~width ~height = { width; height; body = Buffer.create 1024 }
+
+(* Flip y: content coordinates are y-up, SVG is y-down. *)
+let fy d y = d.height -. y
+
+let bprintf d fmt = Printf.ksprintf (Buffer.add_string d.body) fmt
+
+let circle d ~cx ~cy ~r ~fill =
+  bprintf d "<circle cx=\"%.3f\" cy=\"%.3f\" r=\"%.3f\" fill=\"%s\"/>\n" cx (fy d cy) r fill
+
+let line d ~x1 ~y1 ~x2 ~y2 ~stroke ~width =
+  bprintf d
+    "<line x1=\"%.3f\" y1=\"%.3f\" x2=\"%.3f\" y2=\"%.3f\" stroke=\"%s\" stroke-width=\"%.3f\"/>\n"
+    x1 (fy d y1) x2 (fy d y2) stroke width
+
+let polygon d points ~fill ?(stroke = "black") ?(stroke_width = 0.02) () =
+  let pts =
+    String.concat " " (List.map (fun (x, y) -> Printf.sprintf "%.3f,%.3f" x (fy d y)) points)
+  in
+  bprintf d "<polygon points=\"%s\" fill=\"%s\" stroke=\"%s\" stroke-width=\"%.3f\"/>\n" pts fill
+    stroke stroke_width
+
+let rect d ~x ~y ~w ~h ~fill ?(stroke = "none") () =
+  bprintf d
+    "<rect x=\"%.3f\" y=\"%.3f\" width=\"%.3f\" height=\"%.3f\" fill=\"%s\" stroke=\"%s\" \
+     stroke-width=\"0.02\"/>\n"
+    x
+    (fy d (y +. h))
+    w h fill stroke
+
+let text d ~x ~y ~size s =
+  bprintf d
+    "<text x=\"%.3f\" y=\"%.3f\" font-size=\"%.3f\" text-anchor=\"middle\" \
+     dominant-baseline=\"middle\" font-family=\"sans-serif\">%s</text>\n"
+    x (fy d y) size s
+
+let arrow d ~x1 ~y1 ~x2 ~y2 ~stroke =
+  line d ~x1 ~y1 ~x2 ~y2 ~stroke ~width:0.04;
+  (* Simple arrowhead: two short strokes at the tip. *)
+  let dx = x2 -. x1 and dy = y2 -. y1 in
+  let len = Float.hypot dx dy in
+  if len > 1e-9 then begin
+    let ux = dx /. len and uy = dy /. len in
+    let size = 0.15 in
+    let wing s =
+      let wx = (-.ux *. 0.866) +. (s *. uy *. 0.5) in
+      let wy = (-.uy *. 0.866) -. (s *. ux *. 0.5) in
+      line d ~x1:x2 ~y1:y2 ~x2:(x2 +. (size *. wx)) ~y2:(y2 +. (size *. wy)) ~stroke ~width:0.04
+    in
+    wing 1.0;
+    wing (-1.0)
+  end
+
+let to_string d =
+  Printf.sprintf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 %.3f %.3f\" width=\"%.0f\" \
+     height=\"%.0f\">\n%s</svg>\n"
+    d.width d.height (d.width *. 60.0) (d.height *. 60.0) (Buffer.contents d.body)
+
+let save d path =
+  let oc = open_out path in
+  output_string oc (to_string d);
+  close_out oc
+
+let palette_table =
+  [| "#4e79a7"; "#f28e2b"; "#e15759"; "#76b7b2"; "#59a14f"; "#edc948"; "#b07aa1"; "#ff9da7";
+     "#9c755f"; "#bab0ac"; "#86bcb6"; "#d37295"; "#fabfd2"; "#b6992d"; "#499894"; "#79706e" |]
+
+let palette k = palette_table.(((k mod 16) + 16) mod 16)

@@ -1,0 +1,30 @@
+(** Minimal SVG emission (no dependency): enough shapes to regenerate the
+    paper's five figures as standalone [.svg] files. Coordinates are in
+    user units; the [y]-axis is flipped at document level so callers work
+    in mathematical orientation. *)
+
+type doc
+
+val create : width:float -> height:float -> doc
+(** Canvas in user units; content is drawn in a y-up coordinate system
+    spanning [0..width] x [0..height]. *)
+
+val circle : doc -> cx:float -> cy:float -> r:float -> fill:string -> unit
+val line : doc -> x1:float -> y1:float -> x2:float -> y2:float -> stroke:string -> width:float -> unit
+
+val polygon :
+  doc -> (float * float) list -> fill:string -> ?stroke:string -> ?stroke_width:float -> unit -> unit
+
+val rect :
+  doc -> x:float -> y:float -> w:float -> h:float -> fill:string -> ?stroke:string -> unit -> unit
+
+val text : doc -> x:float -> y:float -> size:float -> string -> unit
+(** Centered at (x, y). *)
+
+val arrow : doc -> x1:float -> y1:float -> x2:float -> y2:float -> stroke:string -> unit
+
+val to_string : doc -> string
+val save : doc -> string -> unit
+
+val palette : int -> string
+(** A stable categorical color per small integer (slots, tile classes). *)

@@ -1,0 +1,1 @@
+lib/tiling/dlx.ml: Array Fun Hashtbl List Stdlib

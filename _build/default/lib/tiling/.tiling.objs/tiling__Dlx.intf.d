@@ -1,0 +1,1 @@
+lib/tiling/dlx.mli:

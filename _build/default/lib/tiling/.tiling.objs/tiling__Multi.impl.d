@@ -1,0 +1,1 @@
+lib/tiling/multi.ml: Array Format Lattice List Option Printf Prototile Single Sublattice Vec Zgeom

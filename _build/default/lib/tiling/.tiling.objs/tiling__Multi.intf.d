@@ -1,0 +1,1 @@
+lib/tiling/multi.mli: Format Lattice Single Zgeom

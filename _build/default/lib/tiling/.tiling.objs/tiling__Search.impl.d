@@ -1,0 +1,1 @@
+lib/tiling/search.ml: Array Boundary_word Dlx Hashtbl Lattice List Multi Polyomino Prototile Single Stdlib Sublattice Vec Zgeom

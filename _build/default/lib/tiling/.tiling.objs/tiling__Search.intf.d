@@ -1,0 +1,1 @@
+lib/tiling/search.mli: Lattice Multi Single

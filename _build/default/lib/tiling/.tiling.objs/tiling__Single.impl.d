@@ -1,0 +1,1 @@
+lib/tiling/single.ml: Array Format Lattice List Option Printf Prototile Sublattice Vec Zgeom

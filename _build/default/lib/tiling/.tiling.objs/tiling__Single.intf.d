@@ -1,0 +1,1 @@
+lib/tiling/single.mli: Format Lattice Zgeom

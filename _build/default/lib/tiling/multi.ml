@@ -1,0 +1,127 @@
+open Zgeom
+open Lattice
+
+type piece = { tile : Prototile.t; piece_offsets : Vec.t list }
+
+type t = {
+  period : Sublattice.t;
+  pieces : piece list;
+  (* cover.(coset_id v) = (piece index, offset, cell index within piece) *)
+  cover : (int * Vec.t * int) array;
+}
+
+let make ~period pieces =
+  let dim = Sublattice.dim period in
+  if pieces = [] then Error "no pieces"
+  else if List.exists (fun p -> p.piece_offsets = []) pieces then
+    Error "a piece has an empty translation set"
+  else if List.exists (fun p -> Prototile.dim p.tile <> dim) pieces then
+    Error "dimension mismatch"
+  else begin
+    let pieces =
+      List.map
+        (fun p ->
+          { p with
+            piece_offsets =
+              List.map (Sublattice.reduce period) p.piece_offsets
+              |> Vec.Set.of_list |> Vec.Set.elements })
+        pieces
+    in
+    let idx = Sublattice.index period in
+    let total =
+      List.fold_left
+        (fun acc p -> acc + (Prototile.size p.tile * List.length p.piece_offsets))
+        0 pieces
+    in
+    if total <> idx then
+      Error (Printf.sprintf "cell count %d does not match period index %d" total idx)
+    else begin
+      let cover = Array.make idx None in
+      let clash = ref None in
+      List.iteri
+        (fun k p ->
+          let cells = Prototile.cells p.tile in
+          List.iter
+            (fun o ->
+              List.iteri
+                (fun ci n ->
+                  if !clash = None then begin
+                    let id = Sublattice.coset_id period (Vec.add o n) in
+                    match cover.(id) with
+                    | None -> cover.(id) <- Some (k, o, ci)
+                    | Some _ ->
+                      clash :=
+                        Some
+                          (Printf.sprintf "overlap at coset of %s"
+                             (Vec.to_string (Vec.add o n)))
+                  end)
+                cells)
+            p.piece_offsets)
+        pieces;
+      match !clash with
+      | Some msg -> Error msg
+      | None -> Ok { period; pieces; cover = Array.map Option.get cover }
+    end
+  end
+
+let make_exn ~period pieces =
+  match make ~period pieces with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Tiling.Multi.make: " ^ msg)
+
+let of_single s =
+  make_exn ~period:(Single.period s)
+    [ { tile = Single.prototile s; piece_offsets = Single.offsets s } ]
+
+let period t = t.period
+let pieces t = t.pieces
+let dim t = Sublattice.dim t.period
+let prototiles t = List.map (fun p -> p.tile) t.pieces
+
+let respectable_prototile t =
+  let tiles = prototiles t in
+  List.find_opt (fun n1 -> List.for_all (fun nk -> Prototile.subset nk n1) tiles) tiles
+
+let is_respectable t = respectable_prototile t <> None
+
+let union_cells t =
+  List.fold_left
+    (fun acc p -> Vec.Set.union acc (Prototile.cell_set p.tile))
+    Vec.Set.empty t.pieces
+  |> Vec.Set.elements
+
+let tile_of t v =
+  let k, _, ci = t.cover.(Sublattice.coset_id t.period v) in
+  let p = List.nth t.pieces k in
+  let n = List.nth (Prototile.cells p.tile) ci in
+  (k, Vec.sub v n, n)
+
+let iter_window dim radius f =
+  let rec go i prefix =
+    if i = dim then f (Vec.of_list (List.rev prefix))
+    else
+      for x = -radius to radius do
+        go (i + 1) (x :: prefix)
+      done
+  in
+  go 0 []
+
+let check_window t ~radius =
+  let ok = ref true in
+  iter_window (dim t) radius (fun v ->
+      let covers = ref 0 in
+      List.iter
+        (fun p ->
+          let offs = Vec.Set.of_list p.piece_offsets in
+          List.iter
+            (fun n ->
+              if Vec.Set.mem (Sublattice.reduce t.period (Vec.sub v n)) offs then incr covers)
+            (Prototile.cells p.tile))
+        t.pieces;
+      if !covers <> 1 then ok := false);
+  !ok
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>multi-tiling: %d piece(s), period index %d%s@]"
+    (List.length t.pieces) (Sublattice.index t.period)
+    (if is_respectable t then " (respectable)" else " (non-respectable)")

@@ -1,0 +1,49 @@
+(** Tilings with several prototiles (Section 4 of the paper).
+
+    [T_1, ..., T_n] tile [Z^d] with prototiles [N_1, ..., N_n] when every
+    lattice point is covered by exactly one translate [t_k + N_k]
+    (conditions GT1 and GT2).  As in {!Single}, we represent the periodic
+    case - each [T_k] is a union of cosets of one shared period sublattice
+    - and validate exactly on the quotient, so a value of type {!t} is
+    always a valid generalized tiling.
+
+    A tiling is {e respectable} when one prototile contains all others;
+    Theorem 2 gives an optimal [|N_1|]-slot schedule exactly in that case
+    (and Figure 5 shows optimality genuinely fails without it). *)
+
+type t
+
+type piece = { tile : Lattice.Prototile.t; piece_offsets : Zgeom.Vec.t list }
+
+val make : period:Lattice.Sublattice.t -> piece list -> (t, string) result
+(** Validates GT1/GT2 on the quotient. Pieces with no offsets are
+    rejected (the paper requires the [T_k] non-empty). *)
+
+val make_exn : period:Lattice.Sublattice.t -> piece list -> t
+
+val of_single : Single.t -> t
+
+val period : t -> Lattice.Sublattice.t
+val pieces : t -> piece list
+val dim : t -> int
+
+val prototiles : t -> Lattice.Prototile.t list
+
+val respectable_prototile : t -> Lattice.Prototile.t option
+(** The prototile containing all others, when one exists (the tiling is
+    then respectable); by convention the first such piece. *)
+
+val is_respectable : t -> bool
+
+val union_cells : t -> Zgeom.Vec.t list
+(** Cells of [N = N_1 u ... u N_n], sorted; Theorem 2's proof schedules by
+    indexing into this union. *)
+
+val tile_of : t -> Zgeom.Vec.t -> int * Zgeom.Vec.t * Zgeom.Vec.t
+(** [tile_of t v = (k, s, n)]: the unique piece index [k], translation
+    [s] in [T_k] and cell [n] of [N_k] with [v = s + n]. *)
+
+val check_window : t -> radius:int -> bool
+(** Brute-force re-verification of exactly-once coverage on a window. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,175 @@
+open Zgeom
+open Lattice
+
+let lattice_tilings p =
+  let d = Prototile.dim p in
+  let m = Prototile.size p in
+  let cells = Prototile.cells p in
+  let complete_residues lam =
+    let seen = Hashtbl.create m in
+    List.for_all
+      (fun n ->
+        let id = Sublattice.coset_id lam n in
+        if Hashtbl.mem seen id then false
+        else begin
+          Hashtbl.add seen id ();
+          true
+        end)
+      cells
+  in
+  List.filter complete_residues (Sublattice.all_of_index ~dim:d m)
+
+let find_lattice_tiling p =
+  match lattice_tilings p with
+  | [] -> None
+  | lam :: _ -> (
+    match Single.lattice_tiling p lam with
+    | Ok t -> Some t
+    | Error _ -> assert false)
+
+type placement = { piece : int; anchor : Vec.t; covers : int list }
+
+let cover_torus ~period ~prototiles ?(max_solutions = 64) ?(engine = `Backtracking) () =
+  let idx = Sublattice.index period in
+  let anchors = Sublattice.cosets period in
+  let placements =
+    List.concat
+      (List.mapi
+         (fun k p ->
+           let cells = Prototile.cells p in
+           List.filter_map
+             (fun o ->
+               let ids = List.map (fun n -> Sublattice.coset_id period (Vec.add o n)) cells in
+               let sorted = List.sort_uniq Stdlib.compare ids in
+               (* Self-overlap on the torus = T2 violation in Z^d. *)
+               if List.length sorted <> List.length ids then None
+               else Some { piece = k; anchor = o; covers = ids })
+             anchors)
+         prototiles)
+  in
+  (* by_cell.(c) = placements covering cell c *)
+  let by_cell = Array.make idx [] in
+  List.iter (fun pl -> List.iter (fun c -> by_cell.(c) <- pl :: by_cell.(c)) pl.covers) placements;
+  let covered = Array.make idx false in
+  let solutions = ref [] in
+  let count = ref 0 in
+  let chosen = ref [] in
+  let free pl = List.for_all (fun c -> not covered.(c)) pl.covers in
+  let rec solve () =
+    if !count >= max_solutions then ()
+    else begin
+      (* Most-constrained uncovered cell first. *)
+      let best = ref (-1) in
+      let best_cands = ref [] in
+      let best_n = ref max_int in
+      for c = 0 to idx - 1 do
+        if not covered.(c) && !best_n > 0 then begin
+          let cands = List.filter free by_cell.(c) in
+          let n = List.length cands in
+          if n < !best_n then begin
+            best := c;
+            best_cands := cands;
+            best_n := n
+          end
+        end
+      done;
+      if !best < 0 then begin
+        (* Everything covered: record the solution. *)
+        solutions := List.rev !chosen :: !solutions;
+        incr count
+      end
+      else
+        List.iter
+          (fun pl ->
+            if free pl then begin
+              List.iter (fun c -> covered.(c) <- true) pl.covers;
+              chosen := pl :: !chosen;
+              solve ();
+              chosen := List.tl !chosen;
+              List.iter (fun c -> covered.(c) <- false) pl.covers
+            end)
+          !best_cands
+    end
+  in
+  let dlx_solutions () =
+    let placement_arr = Array.of_list placements in
+    let problem = Dlx.create ~universe:idx (List.map (fun pl -> pl.covers) placements) in
+    Dlx.solve ~max_solutions problem |> List.map (List.map (fun i -> placement_arr.(i)))
+  in
+  let raw_solutions =
+    match engine with
+    | `Backtracking ->
+      solve ();
+      List.rev !solutions
+    | `Dlx -> dlx_solutions ()
+  in
+  let to_multi sol =
+    let pieces =
+      List.mapi
+        (fun k p ->
+          let offs = List.filter_map (fun pl -> if pl.piece = k then Some pl.anchor else None) sol in
+          { Multi.tile = p; piece_offsets = offs })
+        prototiles
+      |> List.filter (fun pc -> pc.Multi.piece_offsets <> [])
+    in
+    match Multi.make ~period pieces with
+    | Ok t -> t
+    | Error msg -> invalid_arg ("Search.cover_torus: inconsistent solution: " ^ msg)
+  in
+  List.map to_multi raw_solutions
+
+let default_factors = [ 1; 2; 3; 4 ]
+
+let torus_single_tilings ~factors p =
+  let d = Prototile.dim p in
+  let m = Prototile.size p in
+  List.concat_map
+    (fun f ->
+      List.concat_map
+        (fun lam ->
+          cover_torus ~period:lam ~prototiles:[ p ] ~max_solutions:1 ()
+          |> List.filter_map (fun mt ->
+                 match Multi.pieces mt with
+                 | [ pc ] -> (
+                   match
+                     Single.make ~prototile:p ~period:lam ~offsets:pc.Multi.piece_offsets
+                   with
+                   | Ok t -> Some t
+                   | Error _ -> None)
+                 | _ -> None))
+        (Sublattice.all_of_index ~dim:d (f * m)))
+    factors
+
+let find_tiling ?(torus_factors = default_factors) p =
+  match find_lattice_tiling p with
+  | Some t -> Some t
+  | None -> (
+    match torus_single_tilings ~factors:torus_factors p with
+    | t :: _ -> Some t
+    | [] -> None)
+
+let find_respectable ?(torus_factors = default_factors) prototiles ?(max_solutions = 16) () =
+  match prototiles with
+  | [] -> invalid_arg "Search.find_respectable: no prototiles"
+  | n1 :: rest ->
+    if not (List.for_all (fun nk -> Prototile.subset nk n1) rest) then
+      invalid_arg "Search.find_respectable: first prototile must contain the others";
+    let d = Prototile.dim n1 in
+    let m1 = Prototile.size n1 in
+    let uses_all mt = List.length (Multi.pieces mt) = List.length prototiles in
+    List.concat_map
+      (fun f ->
+        List.concat_map
+          (fun lam ->
+            (* Over-sample: many covers use only the big prototile. *)
+            cover_torus ~period:lam ~prototiles ~max_solutions:(max_solutions * 16) ()
+            |> List.filter (fun mt -> uses_all mt && Multi.is_respectable mt))
+          (Sublattice.all_of_index ~dim:d (f * m1)))
+      torus_factors
+    |> List.filteri (fun i _ -> i < max_solutions)
+
+let exactness ?(torus_factors = default_factors) p =
+  if Prototile.dim p = 2 && Polyomino.is_polyomino p then
+    if Boundary_word.is_exact_polyomino p then `Exact else `NotExact
+  else if find_tiling ~torus_factors p <> None then `Exact
+  else `Unknown

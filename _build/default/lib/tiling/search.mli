@@ -1,0 +1,67 @@
+(** Finding tilings and deciding exactness (question Q1 of the paper).
+
+    Three engines, by generality:
+
+    - {!lattice_tilings}: enumerate all sublattices of index [|N|] and keep
+      those for which the prototile's cells form a complete residue
+      system.  Finds exactly the tilings with [T] a sublattice.
+    - {!cover_torus}: exact-cover backtracking on a finite quotient
+      [Z^d / Lambda], finding every periodic tiling with that period
+      (including multi-prototile and non-lattice ones, e.g. the S/Z mix of
+      Figure 5).
+    - {!exactness}: the decision procedure. For simply-connected 2-D
+      polyominoes the Beauquier-Nivat criterion is complete
+      (together with Wijshoff-van Leeuwen's periodicity theorem); for
+      arbitrary prototiles we search periods up to a bounded index
+      multiple and report [`Unknown] on exhaustion - the general problem
+      is open, and even prime-size prototiles can require non-lattice
+      translation sets (e.g. [{0, 2}] in [Z] tiles only with
+      [T = {0,1} + 4Z]). *)
+
+val lattice_tilings : Lattice.Prototile.t -> Lattice.Sublattice.t list
+(** All period sublattices [Lambda] of index [|N|] with the cells pairwise
+    non-congruent mod [Lambda]; each yields [Single.lattice_tiling]. *)
+
+val find_lattice_tiling : Lattice.Prototile.t -> Single.t option
+
+val cover_torus :
+  period:Lattice.Sublattice.t ->
+  prototiles:Lattice.Prototile.t list ->
+  ?max_solutions:int ->
+  ?engine:[ `Backtracking | `Dlx ] ->
+  unit ->
+  Multi.t list
+(** All exact covers of the quotient by translates of the prototiles
+    (at most [max_solutions], default 64). Placements that self-overlap on
+    the torus are excluded: they correspond to T2 violations in [Z^d].
+    Prototiles unused by a particular solution are dropped from its piece
+    list.
+
+    [engine] selects the solver: the default [`Backtracking] is a simple
+    most-constrained-cell backtracker; [`Dlx] is Knuth's Algorithm X with
+    dancing links ({!Dlx}). Both return the same solution set (tests
+    enforce it); DLX is faster on larger quotients. *)
+
+val find_tiling :
+  ?torus_factors:int list -> Lattice.Prototile.t -> Single.t option
+(** A single-prototile periodic tiling if one is found: first among
+    lattice tilings, then among torus covers with period index
+    [f * |N|] for [f] in [torus_factors] (default [1..4]). *)
+
+val exactness :
+  ?torus_factors:int list ->
+  Lattice.Prototile.t ->
+  [ `Exact | `NotExact | `Unknown ]
+(** Complete for 2-D simply-connected polyominoes (BN criterion);
+    otherwise a bounded search that can return [`Unknown]. *)
+
+val find_respectable :
+  ?torus_factors:int list ->
+  Lattice.Prototile.t list ->
+  ?max_solutions:int ->
+  unit ->
+  Multi.t list
+(** Respectable multi-prototile tilings (Section 4): searches torus
+    covers over periods of index [f * |N1|] for [f] in [torus_factors]
+    (default [1..4]), keeping only solutions that use every prototile and
+    are respectable. The first prototile must contain all others. *)

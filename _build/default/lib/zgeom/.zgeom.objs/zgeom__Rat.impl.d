@@ -1,0 +1,1 @@
+lib/zgeom/rat.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/zgeom/vec.ml: Array Format Hashtbl Map Set Stdlib

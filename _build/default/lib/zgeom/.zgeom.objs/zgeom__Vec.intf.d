@@ -1,0 +1,1 @@
+lib/zgeom/vec.mli: Format Map Set

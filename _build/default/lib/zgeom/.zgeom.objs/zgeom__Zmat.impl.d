@@ -1,0 +1,1 @@
+lib/zgeom/zmat.ml: Array Format

@@ -1,0 +1,45 @@
+type t = { num : int; den : int }
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let make num den =
+  assert (den <> 0);
+  let s = if den < 0 then -1 else 1 in
+  let g = gcd num den in
+  let g = if g = 0 then 1 else g in
+  { num = s * num / g; den = s * den / g }
+
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+let half = make 1 2
+let num r = r.num
+let den r = r.den
+let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
+let sub a b = make ((a.num * b.den) - (b.num * a.den)) (a.den * b.den)
+let mul a b = make (a.num * b.num) (a.den * b.den)
+
+let div a b =
+  assert (b.num <> 0);
+  make (a.num * b.den) (a.den * b.num)
+
+let neg a = { a with num = -a.num }
+let abs a = { a with num = Stdlib.abs a.num }
+let compare a b = Stdlib.compare (a.num * b.den) (b.num * a.den)
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let equal a b = a.num = b.num && a.den = b.den
+
+let sign a = Stdlib.compare a.num 0
+
+let to_float a = float_of_int a.num /. float_of_int a.den
+
+let floor a = if a.num >= 0 then a.num / a.den else -(((-a.num) + a.den - 1) / a.den)
+
+let ceil a = -floor (neg a)
+
+let pp fmt a =
+  if a.den = 1 then Format.pp_print_int fmt a.num
+  else Format.fprintf fmt "%d/%d" a.num a.den
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,47 @@
+(** Exact rational arithmetic on machine integers.
+
+    Used where floating point would make a geometric predicate unreliable
+    (Voronoi cells of the square lattice, point-in-region tests for the
+    mobile-sensor rule).  Numerators and denominators stay tiny in all our
+    uses, so machine-int overflow is not a practical concern; invariants
+    are guarded by assertions. *)
+
+type t
+(** A rational, always normalized: positive denominator, gcd 1. *)
+
+val make : int -> int -> t
+(** [make num den]. Requires [den <> 0]. *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+val half : t
+
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** Requires a non-zero divisor. *)
+
+val neg : t -> t
+val abs : t -> t
+val min : t -> t -> t
+val max : t -> t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+
+val to_float : t -> float
+
+val floor : t -> int
+(** Greatest integer [<=]. *)
+
+val ceil : t -> int
+(** Least integer [>=]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

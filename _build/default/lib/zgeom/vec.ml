@@ -1,0 +1,76 @@
+type t = int array
+
+let of_array a = Array.copy a
+let of_list = Array.of_list
+let to_array = Array.copy
+let to_list = Array.to_list
+let make2 x y = [| x; y |]
+
+let x v =
+  assert (Array.length v >= 1);
+  v.(0)
+
+let y v =
+  assert (Array.length v >= 2);
+  v.(1)
+
+let coord v i = v.(i)
+let dim = Array.length
+let zero d = Array.make d 0
+
+let add a b =
+  assert (Array.length a = Array.length b);
+  Array.mapi (fun i ai -> ai + b.(i)) a
+
+let sub a b =
+  assert (Array.length a = Array.length b);
+  Array.mapi (fun i ai -> ai - b.(i)) a
+
+let neg a = Array.map (fun ai -> -ai) a
+let scale k a = Array.map (fun ai -> k * ai) a
+
+let dot a b =
+  assert (Array.length a = Array.length b);
+  let s = ref 0 in
+  for i = 0 to Array.length a - 1 do
+    s := !s + (a.(i) * b.(i))
+  done;
+  !s
+
+let norm1 a = Array.fold_left (fun s ai -> s + abs ai) 0 a
+let norm_inf a = Array.fold_left (fun s ai -> max s (abs ai)) 0 a
+let norm2_sq a = dot a a
+
+let equal a b = a = b
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let is_zero a = Array.for_all (fun ai -> ai = 0) a
+
+let hash (a : t) = Hashtbl.hash a
+
+let pp fmt v =
+  Format.fprintf fmt "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       Format.pp_print_int)
+    (Array.to_list v)
+
+let to_string v = Format.asprintf "%a" pp v
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+let rot90 v =
+  assert (Array.length v = 2);
+  [| -v.(1); v.(0) |]
+
+let reflect_x v =
+  assert (Array.length v = 2);
+  [| v.(0); -v.(1) |]

@@ -1,0 +1,77 @@
+(** Integer vectors in [Z^d].
+
+    Lattice points are represented in the coordinates of the lattice basis,
+    so every lattice is handled as [Z^d]; geometry (hexagonal embedding,
+    Voronoi cells) lives in {!Rat} / {!Geom2d}.  Vectors are immutable:
+    the underlying array is never exposed for mutation. *)
+
+type t
+(** A point of [Z^d]. *)
+
+val of_array : int array -> t
+(** Takes ownership conceptually; the array is copied. *)
+
+val of_list : int list -> t
+
+val to_array : t -> int array
+(** Fresh array; safe to mutate. *)
+
+val to_list : t -> int list
+
+val make2 : int -> int -> t
+(** [make2 x y] is the 2-D point [(x, y)]. *)
+
+val x : t -> int
+(** First coordinate. Requires [dim >= 1]. *)
+
+val y : t -> int
+(** Second coordinate. Requires [dim >= 2]. *)
+
+val coord : t -> int -> int
+(** [coord v i] is the [i]-th coordinate, 0-indexed. *)
+
+val dim : t -> int
+
+val zero : int -> t
+(** [zero d] is the origin of [Z^d]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : int -> t -> t
+val dot : t -> t -> int
+
+val norm1 : t -> int
+(** Manhattan norm. *)
+
+val norm_inf : t -> int
+(** Chebyshev norm. *)
+
+val norm2_sq : t -> int
+(** Squared Euclidean norm (kept integral). *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Lexicographic; total order used by {!Set} and {!Map}. *)
+
+val is_zero : t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(x, y, ...)]. *)
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+(* 2-D symmetry operations (identity on other dimensions is not defined:
+   these require [dim = 2]). *)
+
+val rot90 : t -> t
+(** Counterclockwise quarter turn [(x, y) -> (-y, x)]. *)
+
+val reflect_x : t -> t
+(** Mirror across the x-axis [(x, y) -> (x, -y)]. *)

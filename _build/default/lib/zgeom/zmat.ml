@@ -1,0 +1,261 @@
+type t = int array array
+
+let identity n = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1 else 0))
+let copy m = Array.map Array.copy m
+
+let dims m =
+  let rows = Array.length m in
+  (rows, if rows = 0 then 0 else Array.length m.(0))
+
+let mul a b =
+  let ra, ca = dims a and rb, cb = dims b in
+  assert (ca = rb);
+  Array.init ra (fun i ->
+      Array.init cb (fun j ->
+          let s = ref 0 in
+          for k = 0 to ca - 1 do
+            s := !s + (a.(i).(k) * b.(k).(j))
+          done;
+          !s))
+
+let transpose m =
+  let r, c = dims m in
+  Array.init c (fun j -> Array.init r (fun i -> m.(i).(j)))
+
+let equal (a : t) (b : t) = a = b
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  Array.iter
+    (fun row ->
+      Format.fprintf fmt "[%a]@,"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+           Format.pp_print_int)
+        (Array.to_list row))
+    m;
+  Format.fprintf fmt "@]"
+
+let apply_row m a =
+  let r, c = dims m in
+  assert (Array.length a = r);
+  Array.init c (fun j ->
+      let s = ref 0 in
+      for i = 0 to r - 1 do
+        s := !s + (a.(i) * m.(i).(j))
+      done;
+      !s)
+
+(* Floor division, correct for negative numerators. *)
+let fdiv a b = if a mod b <> 0 && a < 0 <> (b < 0) then (a / b) - 1 else a / b
+
+let det m =
+  let n, c = dims m in
+  assert (n = c);
+  if n = 0 then 1
+  else begin
+    let a = copy m in
+    let sign = ref 1 in
+    let prev = ref 1 in
+    (try
+       for k = 0 to n - 2 do
+         if a.(k).(k) = 0 then begin
+           (* Bareiss needs a non-zero pivot; swap one up or conclude det = 0. *)
+           let piv = ref (-1) in
+           for i = n - 1 downto k + 1 do
+             if a.(i).(k) <> 0 then piv := i
+           done;
+           if !piv < 0 then raise Exit;
+           let tmp = a.(k) in
+           a.(k) <- a.(!piv);
+           a.(!piv) <- tmp;
+           sign := - !sign
+         end;
+         for i = k + 1 to n - 1 do
+           for j = k + 1 to n - 1 do
+             a.(i).(j) <- ((a.(i).(j) * a.(k).(k)) - (a.(i).(k) * a.(k).(j))) / !prev
+           done;
+           a.(i).(k) <- 0
+         done;
+         prev := a.(k).(k)
+       done
+     with Exit -> a.(n - 1).(n - 1) <- 0);
+    !sign * a.(n - 1).(n - 1)
+  end
+
+(* row_i <- row_i - q * row_j *)
+let row_sub a i j q =
+  if q <> 0 then
+    for c = 0 to Array.length a.(i) - 1 do
+      a.(i).(c) <- a.(i).(c) - (q * a.(j).(c))
+    done
+
+let row_neg a i =
+  for c = 0 to Array.length a.(i) - 1 do
+    a.(i).(c) <- -a.(i).(c)
+  done
+
+let hnf m =
+  let a = copy m in
+  let rows, cols = dims a in
+  let r = ref 0 in
+  for c = 0 to cols - 1 do
+    if !r < rows then begin
+      (* Gcd-eliminate column [c] below row [!r]: repeatedly bring the
+         smallest non-zero entry to the pivot position and reduce the rest;
+         this is Euclid's algorithm running on the whole column. *)
+      let rec eliminate () =
+        let best = ref (-1) in
+        for i = rows - 1 downto !r do
+          if a.(i).(c) <> 0 && (!best < 0 || abs a.(i).(c) < abs a.(!best).(c)) then
+            best := i
+        done;
+        if !best >= 0 then begin
+          if !best <> !r then begin
+            let tmp = a.(!best) in
+            a.(!best) <- a.(!r);
+            a.(!r) <- tmp
+          end;
+          let dirty = ref false in
+          for i = !r + 1 to rows - 1 do
+            if a.(i).(c) <> 0 then begin
+              row_sub a i !r (fdiv a.(i).(c) a.(!r).(c));
+              if a.(i).(c) <> 0 then dirty := true
+            end
+          done;
+          if !dirty then eliminate ()
+        end
+      in
+      eliminate ();
+      if a.(!r).(c) <> 0 then begin
+        if a.(!r).(c) < 0 then row_neg a !r;
+        for i = 0 to !r - 1 do
+          row_sub a i !r (fdiv a.(i).(c) a.(!r).(c))
+        done;
+        incr r
+      end
+    end
+  done;
+  a
+
+let is_hnf m =
+  let rows, cols = dims m in
+  let ok = ref (rows <= cols) in
+  for i = 0 to rows - 1 do
+    if i < cols then begin
+      if m.(i).(i) <= 0 then ok := false;
+      for j = 0 to min (i - 1) (cols - 1) do
+        if m.(i).(j) <> 0 then ok := false
+      done;
+      for k = 0 to i - 1 do
+        if not (0 <= m.(k).(i) && m.(k).(i) < m.(i).(i)) then ok := false
+      done
+    end
+  done;
+  !ok
+
+let col_sub a j k q =
+  if q <> 0 then
+    for i = 0 to Array.length a - 1 do
+      a.(i).(j) <- a.(i).(j) - (q * a.(i).(k))
+    done
+
+let snf m =
+  let n, c = dims m in
+  assert (n = c);
+  let a = copy m in
+  let swap_rows i j =
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  in
+  let swap_cols i j =
+    for r = 0 to n - 1 do
+      let tmp = a.(r).(i) in
+      a.(r).(i) <- a.(r).(j);
+      a.(r).(j) <- tmp
+    done
+  in
+  for t = 0 to n - 1 do
+    (* Locate any non-zero entry in the trailing submatrix. *)
+    let found = ref None in
+    for i = n - 1 downto t do
+      for j = n - 1 downto t do
+        if a.(i).(j) <> 0 then found := Some (i, j)
+      done
+    done;
+    match !found with
+    | None -> ()
+    | Some _ ->
+      let finished = ref false in
+      while not !finished do
+        (* Bring the smallest non-zero entry of the submatrix to (t, t). *)
+        let bi = ref (-1) and bj = ref (-1) in
+        for i = t to n - 1 do
+          for j = t to n - 1 do
+            if a.(i).(j) <> 0 && (!bi < 0 || abs a.(i).(j) < abs a.(!bi).(!bj)) then begin
+              bi := i;
+              bj := j
+            end
+          done
+        done;
+        if !bi <> t then swap_rows !bi t;
+        if !bj <> t then swap_cols !bj t;
+        (* Reduce row and column [t] against the pivot. *)
+        let dirty = ref false in
+        for i = t + 1 to n - 1 do
+          if a.(i).(t) <> 0 then begin
+            row_sub a i t (fdiv a.(i).(t) a.(t).(t));
+            if a.(i).(t) <> 0 then dirty := true
+          end
+        done;
+        for j = t + 1 to n - 1 do
+          if a.(t).(j) <> 0 then begin
+            col_sub a j t (fdiv a.(t).(j) a.(t).(t));
+            if a.(t).(j) <> 0 then dirty := true
+          end
+        done;
+        if not !dirty then begin
+          (* Row and column are clear; enforce the divisibility chain by
+             folding any non-divisible entry into row [t] and restarting. *)
+          let culprit = ref None in
+          for i = t + 1 to n - 1 do
+            for j = t + 1 to n - 1 do
+              if a.(i).(j) mod a.(t).(t) <> 0 then culprit := Some i
+            done
+          done;
+          match !culprit with
+          | Some i -> row_sub a t i (-1)
+          | None ->
+            if a.(t).(t) < 0 then row_neg a t;
+            finished := true
+        end
+      done
+  done;
+  a
+
+let unimodular m =
+  let r, c = dims m in
+  r = c && abs (det m) = 1
+
+let solve_triangular h x =
+  let rows, cols = dims h in
+  assert (Array.length x = cols);
+  let rem = Array.copy x in
+  let coeff = Array.make rows 0 in
+  let ok = ref true in
+  for i = 0 to rows - 1 do
+    if !ok then begin
+      let p = h.(i).(i) in
+      if p = 0 then ok := false
+      else if rem.(i) mod p <> 0 then ok := false
+      else begin
+        let q = rem.(i) / p in
+        coeff.(i) <- q;
+        for j = 0 to cols - 1 do
+          rem.(j) <- rem.(j) - (q * h.(i).(j))
+        done
+      end
+    end
+  done;
+  if !ok && Array.for_all (fun v -> v = 0) rem then Some coeff else None

@@ -1,0 +1,1 @@
+test/test_coloring.ml: Alcotest Array Coloring Int64 Lattice List Prng Prototile QCheck QCheck_alcotest Zgeom

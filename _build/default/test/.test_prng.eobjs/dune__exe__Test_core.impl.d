@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Fun Hashtbl Int64 Lattice List Option Printf Prng Prototile QCheck QCheck_alcotest Randomtile Result String Sublattice Tiling Vec Voronoi Zgeom

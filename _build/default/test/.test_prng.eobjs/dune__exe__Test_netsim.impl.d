@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Core Float Lattice List Netsim Prng Prototile Stdlib String Sublattice Tiling Voronoi Zgeom

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float Fun Int64 List Prng QCheck QCheck_alcotest Stdlib

@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Array Core Filename Lattice List Prototile Render String Sys Tiling Zgeom

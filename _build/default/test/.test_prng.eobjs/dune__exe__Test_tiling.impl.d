@@ -1,0 +1,1 @@
+test/test_tiling.ml: Alcotest Array Fun Int64 Lattice List Prng Prototile QCheck QCheck_alcotest Randomtile Stdlib String Sublattice Tiling Vec Zgeom

@@ -1,0 +1,1 @@
+test/test_zgeom.ml: Alcotest Array Format QCheck QCheck_alcotest Rat Vec Zgeom Zmat

@@ -1,0 +1,212 @@
+(* Tests for the distance-2 coloring baselines. *)
+open Lattice
+
+let window g = Coloring.Graph.lattice_window ~prototile:g ~width:6 ~height:6
+
+let test_window_graph_shape () =
+  let g, sensors = window (Prototile.chebyshev_ball ~dim:2 1) in
+  Alcotest.(check int) "36 sensors" 36 (Coloring.Graph.size g);
+  Alcotest.(check int) "positions match" 36 (Array.length sensors);
+  (* Interior sensor: the Chebyshev-1 difference set is the 5x5 block
+     minus itself = 24 conflicts. *)
+  let interior =
+    Array.to_list sensors
+    |> List.mapi (fun i v -> (i, v))
+    |> List.find (fun (_, v) -> Zgeom.Vec.equal v (Zgeom.Vec.make2 3 3))
+    |> fst
+  in
+  Alcotest.(check int) "interior degree 24" 24 (Coloring.Graph.degree g interior)
+
+let test_graph_invariants () =
+  let g, _ = window (Prototile.euclidean_ball ~dim:2 1) in
+  Alcotest.(check int) "edge count consistent" (Coloring.Graph.num_edges g)
+    (Array.fold_left
+       (fun acc row -> acc + Array.fold_left (fun a b -> if b then a + 1 else a) 0 row)
+       0 (Coloring.Graph.adj g)
+    / 2);
+  let nb = Coloring.Graph.neighbors g 0 in
+  Alcotest.(check int) "neighbors = degree" (Coloring.Graph.degree g 0) (List.length nb)
+
+let test_greedy_proper_all_orders () =
+  let g, _ = window (Prototile.chebyshev_ball ~dim:2 1) in
+  let rng = Prng.Xoshiro.create 11L in
+  List.iter
+    (fun order ->
+      let c = Coloring.Greedy.color g order in
+      Alcotest.(check bool) "proper" true (Coloring.Graph.is_proper g c))
+    [ `Natural; `Random rng; `LargestFirst ]
+
+let test_greedy_at_least_lower_bound () =
+  (* Any proper coloring of the conflict graph needs >= |N| colors once
+     the window contains a full clique (N + N translate). *)
+  let n = Prototile.chebyshev_ball ~dim:2 1 in
+  let g, _ = window n in
+  List.iter
+    (fun order ->
+      Alcotest.(check bool) "greedy >= |N|" true
+        (Coloring.Greedy.colors_used g order >= Prototile.size n))
+    [ `Natural; `LargestFirst ]
+
+let test_dsatur_proper_and_good () =
+  let n = Prototile.chebyshev_ball ~dim:2 1 in
+  let g, _ = window n in
+  let c = Coloring.Dsatur.color g in
+  Alcotest.(check bool) "proper" true (Coloring.Graph.is_proper g c);
+  let used = Coloring.Graph.num_colors c in
+  Alcotest.(check bool) "within [|N|, max_degree+1]" true
+    (used >= Prototile.size n && used <= Coloring.Graph.max_degree g + 1)
+
+let test_dsatur_exact_on_bipartite () =
+  (* Dominoes' conflict graph on a path: distance-2 of a 1-D line with
+     range {-1,0,1} gives cliques; use a simple explicit bipartite graph
+     instead. *)
+  let adj =
+    Array.init 6 (fun i -> Array.init 6 (fun j -> (i + j) mod 2 = 1 && abs (i - j) <= 3))
+  in
+  let g = Coloring.Graph.of_adj adj in
+  Alcotest.(check int) "bipartite = 2 colors" 2 (Coloring.Graph.num_colors (Coloring.Dsatur.color g))
+
+let test_annealing_finds_valid () =
+  let n = Prototile.euclidean_ball ~dim:2 1 in
+  let g, _ = window n in
+  let rng = Prng.Xoshiro.create 17L in
+  let k = Coloring.Annealing.min_colors rng g in
+  Alcotest.(check bool) "annealing >= |N|" true (k >= Prototile.size n);
+  match Coloring.Annealing.solve_k rng g k with
+  | Some c ->
+    Alcotest.(check bool) "proper" true (Coloring.Graph.is_proper g c);
+    Alcotest.(check bool) "within k colors" true (Coloring.Graph.num_colors c <= k)
+  | None -> Alcotest.fail "annealing should re-find its own k"
+
+let test_annealing_impossible_k () =
+  let g = Coloring.Graph.of_adj (Array.init 4 (fun i -> Array.init 4 (fun j -> i <> j))) in
+  let rng = Prng.Xoshiro.create 23L in
+  Alcotest.(check bool) "K4 with 3 colors impossible" true
+    (Coloring.Annealing.solve_k rng g 3 = None)
+
+let test_tabucol_finds_valid () =
+  let n = Prototile.euclidean_ball ~dim:2 1 in
+  let g, _ = window n in
+  let rng = Prng.Xoshiro.create 19L in
+  let k = Coloring.Tabucol.min_colors rng g in
+  Alcotest.(check bool) "tabucol >= |N|" true (k >= Prototile.size n);
+  match Coloring.Tabucol.solve_k rng g k with
+  | Some c ->
+    Alcotest.(check bool) "proper" true (Coloring.Graph.is_proper g c);
+    Alcotest.(check bool) "within k" true (Coloring.Graph.num_colors c <= k)
+  | None -> Alcotest.fail "tabucol should re-find its own k"
+
+let test_tabucol_impossible_k () =
+  let g = Coloring.Graph.of_adj (Array.init 5 (fun i -> Array.init 5 (fun j -> i <> j))) in
+  let rng = Prng.Xoshiro.create 29L in
+  Alcotest.(check bool) "K5 with 4 colors impossible" true
+    (Coloring.Tabucol.solve_k ~params:{ max_iters = 3000; tenure_base = 7 } rng g 4 = None);
+  Alcotest.(check bool) "K5 with 5 colors possible" true
+    (Coloring.Tabucol.solve_k rng g 5 <> None)
+
+let test_tdma_baseline () =
+  let g, _ = window (Prototile.chebyshev_ball ~dim:2 1) in
+  Alcotest.(check int) "tdma = n" 36 (Coloring.Baseline.tdma_slots g);
+  let c = Coloring.Baseline.tdma_coloring g in
+  Alcotest.(check bool) "trivially proper" true (Coloring.Graph.is_proper g c)
+
+let test_exact_matches_tiling_bound () =
+  (* On a window with the clique, exact chromatic = |N| for exact
+     prototiles (tiling schedule restricted is proper; clique bound). *)
+  let n = Prototile.euclidean_ball ~dim:2 1 in
+  let g, _ = Coloring.Graph.lattice_window ~prototile:n ~width:5 ~height:5 in
+  Alcotest.(check int) "exact = |N| = 5" 5 (Coloring.Baseline.exact_min_colors g);
+  Alcotest.(check int) "tiling slot count" 5 (Coloring.Baseline.tiling_slot_count n)
+
+let test_heuristics_never_beat_exact () =
+  let n = Prototile.euclidean_ball ~dim:2 1 in
+  let g, _ = Coloring.Graph.lattice_window ~prototile:n ~width:5 ~height:5 in
+  let exact = Coloring.Baseline.exact_min_colors g in
+  Alcotest.(check bool) "dsatur >= exact" true (Coloring.Dsatur.colors_used g >= exact);
+  Alcotest.(check bool) "greedy >= exact" true (Coloring.Greedy.colors_used g `Natural >= exact)
+
+let qcheck_greedy_bound =
+  let gen =
+    QCheck.Gen.(
+      int_range 2 12 >>= fun num ->
+      int_bound 1_000_000 >|= fun seed ->
+      let rng = Prng.Xoshiro.create (Int64.of_int seed) in
+      let adj = Array.make_matrix num num false in
+      for i = 0 to num - 1 do
+        for j = i + 1 to num - 1 do
+          if Prng.Xoshiro.bernoulli rng 0.35 then begin
+            adj.(i).(j) <- true;
+            adj.(j).(i) <- true
+          end
+        done
+      done;
+      Coloring.Graph.of_adj adj)
+  in
+  let arb = QCheck.make gen in
+  QCheck.Test.make ~name:"greedy uses <= max_degree + 1 colors" ~count:80 arb (fun g ->
+      let c = Coloring.Greedy.color g `Natural in
+      Coloring.Graph.is_proper g c
+      && Coloring.Graph.num_colors c <= Coloring.Graph.max_degree g + 1)
+
+let qcheck_dsatur_vs_exact =
+  let gen =
+    QCheck.Gen.(
+      int_range 2 8 >>= fun num ->
+      int_bound 1_000_000 >|= fun seed ->
+      let rng = Prng.Xoshiro.create (Int64.of_int seed) in
+      let adj = Array.make_matrix num num false in
+      for i = 0 to num - 1 do
+        for j = i + 1 to num - 1 do
+          if Prng.Xoshiro.bernoulli rng 0.4 then begin
+            adj.(i).(j) <- true;
+            adj.(j).(i) <- true
+          end
+        done
+      done;
+      Coloring.Graph.of_adj adj)
+  in
+  let arb = QCheck.make gen in
+  QCheck.Test.make ~name:"dsatur within [exact, max_degree+1]" ~count:60 arb (fun g ->
+      let exact = Coloring.Baseline.exact_min_colors g in
+      let d = Coloring.Dsatur.colors_used g in
+      exact <= d && d <= Coloring.Graph.max_degree g + 1)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "coloring"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "window shape" `Quick test_window_graph_shape;
+          Alcotest.test_case "invariants" `Quick test_graph_invariants;
+        ] );
+      ( "greedy",
+        [
+          Alcotest.test_case "proper all orders" `Quick test_greedy_proper_all_orders;
+          Alcotest.test_case "at least |N|" `Quick test_greedy_at_least_lower_bound;
+          qc qcheck_greedy_bound;
+        ] );
+      ( "dsatur",
+        [
+          Alcotest.test_case "proper and bounded" `Quick test_dsatur_proper_and_good;
+          Alcotest.test_case "bipartite" `Quick test_dsatur_exact_on_bipartite;
+          qc qcheck_dsatur_vs_exact;
+        ] );
+      ( "annealing",
+        [
+          Alcotest.test_case "finds valid" `Slow test_annealing_finds_valid;
+          Alcotest.test_case "impossible k" `Quick test_annealing_impossible_k;
+        ] );
+      ( "tabucol",
+        [
+          Alcotest.test_case "finds valid" `Slow test_tabucol_finds_valid;
+          Alcotest.test_case "impossible k" `Quick test_tabucol_impossible_k;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "tdma" `Quick test_tdma_baseline;
+          Alcotest.test_case "exact = |N|" `Quick test_exact_matches_tiling_bound;
+          Alcotest.test_case "heuristics >= exact" `Quick test_heuristics_never_beat_exact;
+        ] );
+    ]

@@ -1,0 +1,610 @@
+(* Tests for the network simulator substrate. *)
+open Lattice
+
+(* --- Heap --- *)
+
+let test_heap_ordering () =
+  let h = Netsim.Heap.create () in
+  List.iter (fun k -> Netsim.Heap.push h k k) [ 5; 3; 9; 1; 7; 3; 0 ];
+  Alcotest.(check int) "size" 7 (Netsim.Heap.size h);
+  let rec drain acc =
+    match Netsim.Heap.pop h with
+    | None -> List.rev acc
+    | Some (k, _) -> drain (k :: acc)
+  in
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 3; 3; 5; 7; 9 ] (drain [])
+
+let test_heap_peek () =
+  let h = Netsim.Heap.create () in
+  Alcotest.(check (option int)) "empty peek" None (Netsim.Heap.peek_key h);
+  Netsim.Heap.push h 4 "a";
+  Netsim.Heap.push h 2 "b";
+  Alcotest.(check (option int)) "peek min" (Some 2) (Netsim.Heap.peek_key h);
+  Alcotest.(check int) "peek does not pop" 2 (Netsim.Heap.size h)
+
+let test_heap_random_against_sort () =
+  let rng = Prng.Xoshiro.create 3L in
+  let h = Netsim.Heap.create () in
+  let keys = List.init 500 (fun _ -> Prng.Xoshiro.int rng 1000) in
+  List.iter (fun k -> Netsim.Heap.push h k ()) keys;
+  let rec drain acc =
+    match Netsim.Heap.pop h with None -> List.rev acc | Some (k, ()) -> drain (k :: acc)
+  in
+  Alcotest.(check (list int)) "heap sort" (List.sort Stdlib.compare keys) (drain [])
+
+(* --- Workload --- *)
+
+let test_periodic_workload () =
+  let rng = Prng.Xoshiro.create 5L in
+  let g = Netsim.Workload.create (Netsim.Workload.Periodic { interval = 10 }) rng in
+  let t0 = Netsim.Workload.first_arrival g in
+  Alcotest.(check bool) "phase within interval" true (0 <= t0 && t0 < 10);
+  let t1 = Netsim.Workload.next_arrival g ~after:t0 in
+  Alcotest.(check int) "period 10" (t0 + 10) t1
+
+let test_poisson_workload_monotone () =
+  let rng = Prng.Xoshiro.create 6L in
+  let g = Netsim.Workload.create (Netsim.Workload.Poisson { rate = 0.2 }) rng in
+  let t = ref (Netsim.Workload.first_arrival g) in
+  for _ = 1 to 100 do
+    let t' = Netsim.Workload.next_arrival g ~after:!t in
+    Alcotest.(check bool) "strictly increasing" true (t' > !t);
+    t := t'
+  done
+
+let test_bursty_workload () =
+  let rng = Prng.Xoshiro.create 7L in
+  let g = Netsim.Workload.create (Netsim.Workload.Bursty { burst = 3; gap_mean = 20.0 }) rng in
+  let t0 = Netsim.Workload.first_arrival g in
+  let t1 = Netsim.Workload.next_arrival g ~after:t0 in
+  let t2 = Netsim.Workload.next_arrival g ~after:t1 in
+  Alcotest.(check int) "burst is back-to-back" (t0 + 1) t1;
+  Alcotest.(check int) "burst continues" (t1 + 1) t2
+
+let test_expected_rate () =
+  Alcotest.(check (float 1e-9)) "periodic" 0.1
+    (Netsim.Workload.expected_rate (Netsim.Workload.Periodic { interval = 10 }));
+  Alcotest.(check (float 1e-9)) "poisson" 0.25
+    (Netsim.Workload.expected_rate (Netsim.Workload.Poisson { rate = 0.25 }))
+
+let test_poisson_empirical_rate () =
+  let rng = Prng.Xoshiro.create 8L in
+  let g = Netsim.Workload.create (Netsim.Workload.Poisson { rate = 0.1 }) rng in
+  let horizon = 100_000 in
+  let rec count t acc =
+    if t >= horizon then acc else count (Netsim.Workload.next_arrival g ~after:t) (acc + 1)
+  in
+  let n = count (Netsim.Workload.first_arrival g) 0 in
+  let rate = float_of_int n /. float_of_int horizon in
+  Alcotest.(check bool) "empirical rate near 0.1" true (Float.abs (rate -. 0.1) < 0.01)
+
+(* --- MAC unit behaviour (decide functions in isolation) --- *)
+
+let mk_ctx ?(busy = false) time = { Netsim.Mac.time; has_packet = true; channel_busy_last = busy }
+
+let test_mac_lattice_matches_schedule () =
+  let p = Prototile.chebyshev_ball ~dim:2 1 in
+  let t =
+    match Tiling.Search.find_tiling p with
+    | Some t -> t
+    | None -> Alcotest.fail "ball tiles"
+  in
+  let schedule = Core.Schedule.of_tiling t in
+  let pos = Zgeom.Vec.make2 3 5 in
+  let inst =
+    Netsim.Mac.lattice_tdma schedule ~node_id:0 ~pos ~rng:(Prng.Xoshiro.create 1L)
+  in
+  for time = 0 to 26 do
+    Alcotest.(check bool) "decide = may_send"
+      (Core.Schedule.may_send schedule pos ~time)
+      (inst.Netsim.Mac.decide (mk_ctx time))
+  done
+
+let test_mac_full_tdma_exclusive () =
+  let inst id = Netsim.Mac.full_tdma ~num_nodes:5 ~node_id:id ~pos:(Zgeom.Vec.zero 2)
+      ~rng:(Prng.Xoshiro.create 1L) in
+  let a = inst 2 in
+  for time = 0 to 14 do
+    Alcotest.(check bool) "sends iff its turn" (time mod 5 = 2)
+      (a.Netsim.Mac.decide (mk_ctx time))
+  done
+
+let test_mac_csma_defers_when_busy () =
+  let inst = Netsim.Mac.p_csma ~p:1.0 ~node_id:0 ~pos:(Zgeom.Vec.zero 2)
+      ~rng:(Prng.Xoshiro.create 1L) in
+  Alcotest.(check bool) "defers on busy channel" false
+    (inst.Netsim.Mac.decide (mk_ctx ~busy:true 0));
+  Alcotest.(check bool) "sends (p=1) on idle channel" true
+    (inst.Netsim.Mac.decide (mk_ctx ~busy:false 0))
+
+let test_mac_aloha_backoff () =
+  let inst = Netsim.Mac.slotted_aloha ~p:1.0 ~max_backoff_exp:4 ~node_id:0
+      ~pos:(Zgeom.Vec.zero 2) ~rng:(Prng.Xoshiro.create 1L) in
+  (* p = 1: always sends when no backoff. *)
+  Alcotest.(check bool) "sends initially" true (inst.Netsim.Mac.decide (mk_ctx 0));
+  (* After a collision, the node eventually sends again within the
+     backoff window. *)
+  inst.Netsim.Mac.feedback `Collided;
+  let sent = ref false in
+  for time = 1 to 40 do
+    if inst.Netsim.Mac.decide (mk_ctx time) then sent := true
+  done;
+  Alcotest.(check bool) "retries after backoff" true !sent
+
+(* --- Energy --- *)
+
+let test_energy_model () =
+  let m = { Netsim.Energy.tx_cost = 2.0; rx_cost = 0.5; idle_cost = 0.1 } in
+  Alcotest.(check (float 1e-9)) "slot energy" (2.0 +. 1.0 +. 0.3)
+    (Netsim.Energy.slot_energy m ~transmitters:1 ~receivers:2 ~idlers:3)
+
+(* --- Engine with lattice TDMA: zero collisions, all delivered --- *)
+
+let tiling_for p =
+  match Tiling.Search.find_tiling p with
+  | Some t -> t
+  | None -> Alcotest.fail "prototile should tile"
+
+let run_lattice_tdma ?(width = 9) ?(height = 9) ?(duration = 1500) ?(interval = 40) () =
+  let p = Prototile.chebyshev_ball ~dim:2 1 in
+  let t = tiling_for p in
+  let schedule = Core.Schedule.of_tiling t in
+  Netsim.Sim.run
+    { (Netsim.Sim.default_config ~mac:(Netsim.Mac.lattice_tdma schedule)) with
+      width; height; prototile = p; duration;
+      workload = Netsim.Workload.Periodic { interval } }
+
+let test_lattice_tdma_no_collisions () =
+  let r = run_lattice_tdma () in
+  Alcotest.(check int) "zero collisions" 0 r.Netsim.Sim.stats.Netsim.Stats.collisions;
+  Alcotest.(check int) "zero receiver losses" 0 r.Netsim.Sim.stats.Netsim.Stats.receiver_losses;
+  Alcotest.(check bool) "traffic flowed" true (r.Netsim.Sim.stats.Netsim.Stats.delivered > 0)
+
+let test_lattice_tdma_low_latency () =
+  let r = run_lattice_tdma () in
+  (* Worst-case wait for your slot is one period = 9 slots. *)
+  Alcotest.(check bool) "latency < period" true
+    (r.Netsim.Sim.stats.Netsim.Stats.max_latency < 9)
+
+let test_conservation_all_protocols () =
+  let p = Prototile.chebyshev_ball ~dim:2 1 in
+  let t = tiling_for p in
+  let schedule = Core.Schedule.of_tiling t in
+  let protos =
+    [ Netsim.Mac.lattice_tdma schedule; Netsim.Mac.full_tdma ~num_nodes:81;
+      Netsim.Mac.slotted_aloha ~p:0.2 ~max_backoff_exp:6; Netsim.Mac.p_csma ~p:0.3 ]
+  in
+  List.iter
+    (fun mac ->
+      let r =
+        Netsim.Sim.run
+          { (Netsim.Sim.default_config ~mac) with width = 9; height = 9; prototile = p;
+            duration = 1200 }
+      in
+      Alcotest.(check bool)
+        (r.Netsim.Sim.mac_name ^ " conserves packets")
+        true (Netsim.Sim.conservation_ok r))
+    protos
+
+let test_full_tdma_no_collisions_but_slow () =
+  let p = Prototile.chebyshev_ball ~dim:2 1 in
+  let r_full =
+    Netsim.Sim.run
+      { (Netsim.Sim.default_config ~mac:(Netsim.Mac.full_tdma ~num_nodes:81)) with
+        width = 9; height = 9; prototile = p; duration = 2000;
+        workload = Netsim.Workload.Periodic { interval = 100 } }
+  in
+  Alcotest.(check int) "full TDMA zero collisions" 0 r_full.Netsim.Sim.stats.Netsim.Stats.collisions;
+  let r_lattice = run_lattice_tdma ~duration:2000 ~interval:100 () in
+  Alcotest.(check bool) "lattice TDMA lower latency than full TDMA" true
+    (r_lattice.Netsim.Sim.stats.Netsim.Stats.mean_latency
+    < r_full.Netsim.Sim.stats.Netsim.Stats.mean_latency)
+
+let test_aloha_collides_under_load () =
+  let p = Prototile.chebyshev_ball ~dim:2 1 in
+  let r =
+    Netsim.Sim.run
+      { (Netsim.Sim.default_config ~mac:(Netsim.Mac.slotted_aloha ~p:0.4 ~max_backoff_exp:5)) with
+        width = 9; height = 9; prototile = p; duration = 1500;
+        workload = Netsim.Workload.Periodic { interval = 10 } }
+  in
+  Alcotest.(check bool) "aloha collides" true (r.Netsim.Sim.stats.Netsim.Stats.collisions > 0)
+
+let test_drifted_tdma_collides () =
+  let p = Prototile.chebyshev_ball ~dim:2 1 in
+  let t = tiling_for p in
+  let schedule = Core.Schedule.of_tiling t in
+  let drift v = if Zgeom.Vec.x v mod 2 = 0 then 0 else 4 in
+  let r =
+    Netsim.Sim.run
+      { (Netsim.Sim.default_config ~mac:(Netsim.Mac.lattice_tdma_drifted schedule ~drift_at:drift)) with
+        width = 9; height = 9; prototile = p; duration = 1500;
+        workload = Netsim.Workload.Periodic { interval = 10 } }
+  in
+  Alcotest.(check bool) "drift causes collisions" true
+    (r.Netsim.Sim.stats.Netsim.Stats.collisions > 0)
+
+let test_zero_drift_equals_plain_tdma () =
+  let p = Prototile.chebyshev_ball ~dim:2 1 in
+  let t = tiling_for p in
+  let schedule = Core.Schedule.of_tiling t in
+  let run mac =
+    Netsim.Sim.run
+      { (Netsim.Sim.default_config ~mac) with width = 8; height = 8; prototile = p;
+        duration = 1000 }
+  in
+  let plain = run (Netsim.Mac.lattice_tdma schedule) in
+  let drifted = run (Netsim.Mac.lattice_tdma_drifted schedule ~drift_at:(fun _ -> 0)) in
+  Alcotest.(check int) "same deliveries" plain.Netsim.Sim.stats.Netsim.Stats.delivered
+    drifted.Netsim.Sim.stats.Netsim.Stats.delivered;
+  Alcotest.(check int) "same attempts" plain.Netsim.Sim.stats.Netsim.Stats.attempts
+    drifted.Netsim.Sim.stats.Netsim.Stats.attempts
+
+let test_determinism () =
+  let a = run_lattice_tdma () and b = run_lattice_tdma () in
+  Alcotest.(check int) "same delivered" a.Netsim.Sim.stats.Netsim.Stats.delivered
+    b.Netsim.Sim.stats.Netsim.Stats.delivered;
+  Alcotest.(check int) "same attempts" a.Netsim.Sim.stats.Netsim.Stats.attempts
+    b.Netsim.Sim.stats.Netsim.Stats.attempts
+
+let test_seed_changes_runs () =
+  let p = Prototile.chebyshev_ball ~dim:2 1 in
+  let run seed =
+    Netsim.Sim.run
+      { (Netsim.Sim.default_config ~mac:(Netsim.Mac.slotted_aloha ~p:0.3 ~max_backoff_exp:5)) with
+        width = 8; height = 8; prototile = p; duration = 800; seed }
+  in
+  let a = run 1L and b = run 2L in
+  Alcotest.(check bool) "different seeds, different attempt counts" true
+    (a.Netsim.Sim.stats.Netsim.Stats.attempts <> b.Netsim.Sim.stats.Netsim.Stats.attempts)
+
+let test_queue_overflow_drops () =
+  let p = Prototile.chebyshev_ball ~dim:2 1 in
+  (* Never transmit: queues fill and drop. *)
+  let silent_mac ~node_id:_ ~pos:_ ~rng:_ =
+    { Netsim.Mac.name = "silent"; decide = (fun _ -> false); feedback = ignore }
+  in
+  let r =
+    Netsim.Sim.run
+      { (Netsim.Sim.default_config ~mac:silent_mac) with width = 4; height = 4; prototile = p;
+        duration = 2000; queue_capacity = 4;
+        workload = Netsim.Workload.Periodic { interval = 5 } }
+  in
+  Alcotest.(check bool) "drops happen" true (r.Netsim.Sim.drops > 0);
+  Alcotest.(check bool) "conservation with drops" true (Netsim.Sim.conservation_ok r);
+  Alcotest.(check int) "nothing delivered" 0 r.Netsim.Sim.stats.Netsim.Stats.delivered
+
+(* --- Trace --- *)
+
+let test_trace_ring_buffer () =
+  let tr = Netsim.Trace.create ~capacity:3 () in
+  for i = 0 to 4 do
+    Netsim.Trace.record tr (Netsim.Trace.Arrived { node = i; time = i })
+  done;
+  Alcotest.(check int) "length capped" 3 (Netsim.Trace.length tr);
+  Alcotest.(check int) "dropped counted" 2 (Netsim.Trace.dropped_events tr);
+  match Netsim.Trace.events tr with
+  | [ Netsim.Trace.Arrived { node = first; _ }; _; Netsim.Trace.Arrived { node = last; _ } ] ->
+    Alcotest.(check int) "oldest kept is #2" 2 first;
+    Alcotest.(check int) "newest is #4" 4 last
+  | _ -> Alcotest.fail "unexpected event shapes"
+
+let test_trace_engine_consistency () =
+  (* Event counts in the trace must match the statistics. *)
+  let p = Prototile.chebyshev_ball ~dim:2 1 in
+  let t = tiling_for p in
+  let schedule = Core.Schedule.of_tiling t in
+  let tr = Netsim.Trace.create () in
+  let r =
+    Netsim.Sim.run
+      { (Netsim.Sim.default_config ~mac:(Netsim.Mac.lattice_tdma schedule)) with
+        width = 6; height = 6; prototile = p; duration = 600; trace = Some tr;
+        workload = Netsim.Workload.Periodic { interval = 30 } }
+  in
+  let arrivals = ref 0 and delivered = ref 0 and collided = ref 0 in
+  List.iter
+    (function
+      | Netsim.Trace.Arrived _ -> incr arrivals
+      | Netsim.Trace.Sent { outcome = `Delivered; _ } -> incr delivered
+      | Netsim.Trace.Sent _ -> incr collided
+      | Netsim.Trace.Dropped _ -> ())
+    (Netsim.Trace.events tr);
+  Alcotest.(check int) "arrivals match" r.Netsim.Sim.stats.Netsim.Stats.arrivals !arrivals;
+  Alcotest.(check int) "deliveries match" r.Netsim.Sim.stats.Netsim.Stats.delivered !delivered;
+  Alcotest.(check int) "collisions match" r.Netsim.Sim.stats.Netsim.Stats.collisions !collided
+
+let test_trace_timeline () =
+  let tr = Netsim.Trace.create () in
+  Netsim.Trace.record tr (Netsim.Trace.Arrived { node = 0; time = 1 });
+  Netsim.Trace.record tr (Netsim.Trace.Sent { node = 0; time = 3; outcome = `Delivered });
+  Netsim.Trace.record tr (Netsim.Trace.Sent { node = 0; time = 5; outcome = `Collided });
+  Netsim.Trace.record tr (Netsim.Trace.Sent { node = 1; time = 2; outcome = `Delivered });
+  Alcotest.(check string) "node 0 timeline" ".a.D.C" (Netsim.Trace.timeline tr ~node:0 ~horizon:6);
+  Alcotest.(check string) "node 1 timeline" "..D..." (Netsim.Trace.timeline tr ~node:1 ~horizon:6);
+  let log = Netsim.Trace.to_log tr in
+  Alcotest.(check bool) "log nonempty" true (String.length log > 0)
+
+(* --- Analytic cross-validation --- *)
+
+let test_analysis_matches_simulation () =
+  (* Poisson arrivals at low rate: each packet sees a uniformly random
+     phase, so mean latency should approach (m - 1) / 2 with m = 9. *)
+  let p = Prototile.chebyshev_ball ~dim:2 1 in
+  let t = tiling_for p in
+  let schedule = Core.Schedule.of_tiling t in
+  let r =
+    Netsim.Sim.run
+      { (Netsim.Sim.default_config ~mac:(Netsim.Mac.lattice_tdma schedule)) with
+        width = 9; height = 9; prototile = p; duration = 30_000;
+        workload = Netsim.Workload.Poisson { rate = 0.005 }; seed = 77L }
+  in
+  let predicted = Core.Analysis.mean_latency_uniform_arrival ~m:9 in
+  Alcotest.(check bool) "mean latency near (m-1)/2" true
+    (Float.abs (r.Netsim.Sim.stats.Netsim.Stats.mean_latency -. predicted) < 0.5);
+  (* The worst-case formula assumes an empty queue; rare back-to-back
+     Poisson arrivals add whole periods, so allow a few. *)
+  Alcotest.(check bool) "p95 latency <= m-1 (queue empty for most packets)" true
+    (r.Netsim.Sim.stats.Netsim.Stats.p95_latency
+    <= float_of_int (Core.Analysis.worst_case_latency ~m:9));
+  Alcotest.(check bool) "max latency bounded by a few periods" true
+    (r.Netsim.Sim.stats.Netsim.Stats.max_latency <= 4 * 9)
+
+let test_analysis_stability_boundary () =
+  (* interval = m is stable (drains exactly); interval < m builds backlog. *)
+  let p = Prototile.chebyshev_ball ~dim:2 1 in
+  let t = tiling_for p in
+  let schedule = Core.Schedule.of_tiling t in
+  let run interval =
+    Netsim.Sim.run
+      { (Netsim.Sim.default_config ~mac:(Netsim.Mac.lattice_tdma schedule)) with
+        width = 9; height = 9; prototile = p; duration = 4000; queue_capacity = 1_000_000;
+        workload = Netsim.Workload.Periodic { interval }; seed = 78L }
+  in
+  Alcotest.(check bool) "stable predicate" true (Core.Analysis.is_stable ~m:9 ~interval:9);
+  Alcotest.(check bool) "unstable predicate" false (Core.Analysis.is_stable ~m:9 ~interval:8);
+  let stable = run 9 and unstable = run 6 in
+  Alcotest.(check bool) "interval=m keeps queues bounded" true (stable.Netsim.Sim.backlog < 200);
+  Alcotest.(check bool) "interval<m builds backlog" true
+    (unstable.Netsim.Sim.backlog > 5 * stable.Netsim.Sim.backlog)
+
+(* --- Channel ablations and fairness --- *)
+
+let test_loss_causes_fades_not_collisions () =
+  let p = Prototile.chebyshev_ball ~dim:2 1 in
+  let t = tiling_for p in
+  let schedule = Core.Schedule.of_tiling t in
+  let r =
+    Netsim.Sim.run
+      { (Netsim.Sim.default_config ~mac:(Netsim.Mac.lattice_tdma schedule)) with
+        width = 9; height = 9; prototile = p; duration = 2000; loss_prob = 0.05;
+        workload = Netsim.Workload.Periodic { interval = 30 } }
+  in
+  Alcotest.(check int) "no collisions under loss" 0 r.Netsim.Sim.stats.Netsim.Stats.collisions;
+  Alcotest.(check bool) "fades happen" true (r.Netsim.Sim.stats.Netsim.Stats.fades > 0);
+  Alcotest.(check bool) "conservation" true (Netsim.Sim.conservation_ok r)
+
+let test_capture_helps_aloha () =
+  (* Needs a prototile with varied sender-receiver distances: with the
+     radius-1 ball every interferer is at distance exactly 1 and no
+     unique nearest transmitter exists, so use radius 2. *)
+  let p = Prototile.chebyshev_ball ~dim:2 2 in
+  let run capture =
+    Netsim.Sim.run
+      { (Netsim.Sim.default_config ~mac:(Netsim.Mac.slotted_aloha ~p:0.3 ~max_backoff_exp:5)) with
+        width = 9; height = 9; prototile = p; duration = 2000; capture;
+        workload = Netsim.Workload.Periodic { interval = 10 } }
+  in
+  let without = run false and with_capture = run true in
+  Alcotest.(check bool) "capture reduces receiver losses" true
+    (with_capture.Netsim.Sim.stats.Netsim.Stats.receiver_losses
+    < without.Netsim.Sim.stats.Netsim.Stats.receiver_losses)
+
+let test_capture_does_not_affect_lattice_tdma () =
+  let p = Prototile.chebyshev_ball ~dim:2 1 in
+  let t = tiling_for p in
+  let schedule = Core.Schedule.of_tiling t in
+  let run capture =
+    Netsim.Sim.run
+      { (Netsim.Sim.default_config ~mac:(Netsim.Mac.lattice_tdma schedule)) with
+        width = 9; height = 9; prototile = p; duration = 1500; capture }
+  in
+  let a = run false and b = run true in
+  Alcotest.(check int) "same deliveries" a.Netsim.Sim.stats.Netsim.Stats.delivered
+    b.Netsim.Sim.stats.Netsim.Stats.delivered;
+  Alcotest.(check int) "still zero collisions" 0 b.Netsim.Sim.stats.Netsim.Stats.collisions
+
+let test_fairness_lattice_tdma () =
+  let r = run_lattice_tdma ~duration:3000 () in
+  Alcotest.(check bool) "lattice TDMA nearly perfectly fair" true (r.Netsim.Sim.fairness > 0.99)
+
+let test_heterogeneous_d1_deployment () =
+  (* Theorem 2's schedule in the packet simulator with per-position
+     neighborhoods (deployment rule D1). *)
+  let strong = Prototile.rect 2 2 in
+  let weak = Prototile.of_cells [ Zgeom.Vec.zero 2 ] in
+  let period = Sublattice.of_basis [| [| 5; 0 |]; [| 0; 2 |] |] in
+  let multi =
+    Tiling.Multi.make_exn ~period
+      [ { Tiling.Multi.tile = strong;
+          piece_offsets = [ Zgeom.Vec.zero 2; Zgeom.Vec.make2 2 0 ] };
+        { Tiling.Multi.tile = weak;
+          piece_offsets = [ Zgeom.Vec.make2 4 0; Zgeom.Vec.make2 4 1 ] } ]
+  in
+  let schedule = Core.Schedule.of_multi multi in
+  let tiles = Array.of_list (Tiling.Multi.prototiles multi) in
+  let neighborhoods v =
+    let k, _, _ = Tiling.Multi.tile_of multi v in
+    tiles.(k)
+  in
+  let r =
+    Netsim.Sim.run
+      { (Netsim.Sim.default_config ~mac:(Netsim.Mac.lattice_tdma schedule)) with
+        width = 10; height = 10; neighborhoods = Some neighborhoods; duration = 2000;
+        workload = Netsim.Workload.Periodic { interval = 20 } }
+  in
+  Alcotest.(check int) "zero collisions with mixed hardware" 0
+    r.Netsim.Sim.stats.Netsim.Stats.collisions;
+  Alcotest.(check bool) "traffic flowed" true (r.Netsim.Sim.stats.Netsim.Stats.delivered > 0);
+  Alcotest.(check bool) "conservation" true (Netsim.Sim.conservation_ok r)
+
+(* --- Timesync --- *)
+
+let timesync_base resync =
+  let p = Prototile.chebyshev_ball ~dim:2 1 in
+  let t = tiling_for p in
+  { Netsim.Timesync.width = 8; height = 8; prototile = p;
+    schedule = Core.Schedule.of_tiling t; root = Zgeom.Vec.make2 4 4; resync_period = resync;
+    drift_ppm = 300.0; hop_jitter = 0.01; duration = 6000; seed = 3L }
+
+let test_timesync_wave_reaches_everyone () =
+  let r = Netsim.Timesync.run (timesync_base 500) in
+  Alcotest.(check bool) "sync latency positive and finite" true
+    (r.Netsim.Timesync.sync_latency >= 0 && r.Netsim.Timesync.sync_latency < 500);
+  Alcotest.(check bool) "beacons were sent" true (r.Netsim.Timesync.beacons_sent > 0)
+
+let test_timesync_bounded_error_with_resync () =
+  let r = Netsim.Timesync.run (timesync_base 500) in
+  (* 300 ppm over 500 slots = 0.15 slots of drift plus small jitter. *)
+  Alcotest.(check bool) "max error below half a slot" true
+    (r.Netsim.Timesync.max_clock_error < 0.5)
+
+let test_timesync_no_resync_causes_violations () =
+  let with_sync = Netsim.Timesync.run (timesync_base 500) in
+  let without = Netsim.Timesync.run { (timesync_base 0) with duration = 20000 } in
+  Alcotest.(check bool) "unsynced has far more violations" true
+    (without.Netsim.Timesync.tdma_violations > 10 * (with_sync.Netsim.Timesync.tdma_violations + 1))
+
+let test_timesync_perfect_clocks_no_violations_after_sync () =
+  (* No drift, no jitter: after the first wave, zero further violations.
+     Compare total violations of a long run with a short run - the
+     difference window is fully synced. *)
+  let cfg resync duration =
+    { (timesync_base resync) with drift_ppm = 0.0; hop_jitter = 0.0; duration }
+  in
+  let short = Netsim.Timesync.run (cfg 10000 3000) in
+  let long = Netsim.Timesync.run (cfg 10000 6000) in
+  Alcotest.(check int) "no violations in the synced window"
+    short.Netsim.Timesync.tdma_violations long.Netsim.Timesync.tdma_violations
+
+(* --- Mobility / Mobile sim --- *)
+
+let test_walker_stays_in_arena () =
+  let arena = { Netsim.Mobility.x_min = 0.0; x_max = 5.0; y_min = 0.0; y_max = 5.0 } in
+  let rng = Prng.Xoshiro.create 31L in
+  let w =
+    Netsim.Mobility.create arena ~speed:0.4 ~pause:2 ~rng ~start:{ Voronoi.px = 2.0; py = 2.0 }
+  in
+  for _ = 1 to 500 do
+    Netsim.Mobility.step w;
+    let p = Netsim.Mobility.position w in
+    Alcotest.(check bool) "inside arena" true
+      (0.0 <= p.Voronoi.px && p.Voronoi.px <= 5.0 && 0.0 <= p.Voronoi.py && p.Voronoi.py <= 5.0)
+  done
+
+let test_walker_moves () =
+  let arena = { Netsim.Mobility.x_min = 0.0; x_max = 5.0; y_min = 0.0; y_max = 5.0 } in
+  let rng = Prng.Xoshiro.create 32L in
+  let start = { Voronoi.px = 2.0; py = 2.0 } in
+  let w = Netsim.Mobility.create arena ~speed:0.4 ~pause:0 ~rng ~start in
+  let moved = ref false in
+  for _ = 1 to 50 do
+    Netsim.Mobility.step w;
+    if Netsim.Mobility.position w <> start then moved := true
+  done;
+  Alcotest.(check bool) "walker moves" true !moved
+
+let test_mobile_sim_zero_collisions () =
+  let p = Prototile.rect 2 2 in
+  let t =
+    Tiling.Single.make_exn ~prototile:p
+      ~period:(Sublattice.of_basis [| [| 2; 0 |]; [| 0; 2 |] |])
+      ~offsets:[ Zgeom.Vec.zero 2 ]
+  in
+  let r =
+    Netsim.Mobile_sim.run
+      { tiling = t; arena_width = 10.0; num_sensors = 30; radius = 0.45; speed = 0.3; pause = 2;
+        send_interval = 8; duration = 1000; seed = 5L }
+  in
+  Alcotest.(check int) "zero collisions (paper's conclusion)" 0 r.Netsim.Mobile_sim.collisions;
+  Alcotest.(check bool) "some attempts happened" true (r.Netsim.Mobile_sim.attempts > 0);
+  Alcotest.(check bool) "eligibility fraction in (0,1)" true
+    (r.Netsim.Mobile_sim.eligible_slot_fraction > 0.0
+    && r.Netsim.Mobile_sim.eligible_slot_fraction < 1.0)
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "peek" `Quick test_heap_peek;
+          Alcotest.test_case "random vs sort" `Quick test_heap_random_against_sort;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "periodic" `Quick test_periodic_workload;
+          Alcotest.test_case "poisson monotone" `Quick test_poisson_workload_monotone;
+          Alcotest.test_case "bursty" `Quick test_bursty_workload;
+          Alcotest.test_case "expected rate" `Quick test_expected_rate;
+          Alcotest.test_case "poisson empirical rate" `Slow test_poisson_empirical_rate;
+        ] );
+      ( "mac",
+        [
+          Alcotest.test_case "lattice = schedule" `Quick test_mac_lattice_matches_schedule;
+          Alcotest.test_case "full tdma exclusive" `Quick test_mac_full_tdma_exclusive;
+          Alcotest.test_case "csma defers" `Quick test_mac_csma_defers_when_busy;
+          Alcotest.test_case "aloha backoff" `Quick test_mac_aloha_backoff;
+        ] );
+      ("energy", [ Alcotest.test_case "slot energy" `Quick test_energy_model ]);
+      ( "engine",
+        [
+          Alcotest.test_case "lattice TDMA collision-free" `Quick test_lattice_tdma_no_collisions;
+          Alcotest.test_case "lattice TDMA latency" `Quick test_lattice_tdma_low_latency;
+          Alcotest.test_case "conservation (all MACs)" `Slow test_conservation_all_protocols;
+          Alcotest.test_case "full TDMA slow" `Slow test_full_tdma_no_collisions_but_slow;
+          Alcotest.test_case "aloha collides" `Quick test_aloha_collides_under_load;
+          Alcotest.test_case "drifted TDMA collides" `Quick test_drifted_tdma_collides;
+          Alcotest.test_case "zero drift = plain" `Quick test_zero_drift_equals_plain_tdma;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_runs;
+          Alcotest.test_case "queue overflow" `Quick test_queue_overflow_drops;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring buffer" `Quick test_trace_ring_buffer;
+          Alcotest.test_case "engine consistency" `Quick test_trace_engine_consistency;
+          Alcotest.test_case "timeline" `Quick test_trace_timeline;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "latency formulas vs sim" `Slow test_analysis_matches_simulation;
+          Alcotest.test_case "stability boundary" `Quick test_analysis_stability_boundary;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "loss => fades, not collisions" `Quick
+            test_loss_causes_fades_not_collisions;
+          Alcotest.test_case "capture helps aloha" `Quick test_capture_helps_aloha;
+          Alcotest.test_case "capture neutral for lattice TDMA" `Quick
+            test_capture_does_not_affect_lattice_tdma;
+          Alcotest.test_case "lattice TDMA fairness" `Quick test_fairness_lattice_tdma;
+          Alcotest.test_case "heterogeneous D1 deployment" `Quick
+            test_heterogeneous_d1_deployment;
+        ] );
+      ( "timesync",
+        [
+          Alcotest.test_case "wave reaches everyone" `Quick test_timesync_wave_reaches_everyone;
+          Alcotest.test_case "bounded error with resync" `Quick
+            test_timesync_bounded_error_with_resync;
+          Alcotest.test_case "no resync causes violations" `Slow
+            test_timesync_no_resync_causes_violations;
+          Alcotest.test_case "perfect clocks stay clean" `Quick
+            test_timesync_perfect_clocks_no_violations_after_sync;
+        ] );
+      ( "mobility",
+        [
+          Alcotest.test_case "arena bounds" `Quick test_walker_stays_in_arena;
+          Alcotest.test_case "walker moves" `Quick test_walker_moves;
+          Alcotest.test_case "mobile sim zero collisions" `Slow test_mobile_sim_zero_collisions;
+        ] );
+    ]

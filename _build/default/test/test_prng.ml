@@ -1,0 +1,163 @@
+(* Tests for the deterministic PRNG substrate. *)
+
+let test_splitmix_reference () =
+  (* Reference values for seed 0 from the SplitMix64 reference
+     implementation (Steele et al.). *)
+  let g = Prng.Splitmix64.create 0L in
+  let expected = [ 0xE220A8397B1DCDAFL; 0x6E789E6AA1B965F4L; 0x06C45D188009454FL ] in
+  List.iter
+    (fun e -> Alcotest.(check int64) "splitmix64 stream" e (Prng.Splitmix64.next g))
+    expected
+
+let test_splitmix_copy_independent () =
+  let g = Prng.Splitmix64.create 7L in
+  let _ = Prng.Splitmix64.next g in
+  let h = Prng.Splitmix64.copy g in
+  let a = Prng.Splitmix64.next g in
+  let b = Prng.Splitmix64.next h in
+  Alcotest.(check int64) "copies continue identically" a b;
+  let _ = Prng.Splitmix64.next g in
+  ()
+
+let test_determinism () =
+  let a = Prng.Xoshiro.create 123L and b = Prng.Xoshiro.create 123L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same seed, same stream" (Prng.Xoshiro.next64 a) (Prng.Xoshiro.next64 b)
+  done
+
+let test_different_seeds_differ () =
+  let a = Prng.Xoshiro.create 1L and b = Prng.Xoshiro.create 2L in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.Xoshiro.next64 a <> Prng.Xoshiro.next64 b then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_split_independent () =
+  let a = Prng.Xoshiro.create 5L in
+  let b = Prng.Xoshiro.split a in
+  let xs = List.init 20 (fun _ -> Prng.Xoshiro.next64 a) in
+  let ys = List.init 20 (fun _ -> Prng.Xoshiro.next64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_int_bounds () =
+  let g = Prng.Xoshiro.create 42L in
+  for _ = 1 to 10_000 do
+    let v = Prng.Xoshiro.int g 7 in
+    Alcotest.(check bool) "in [0,7)" true (0 <= v && v < 7)
+  done
+
+let test_int_covers_all_residues () =
+  let g = Prng.Xoshiro.create 43L in
+  let seen = Array.make 7 false in
+  for _ = 1 to 10_000 do
+    seen.(Prng.Xoshiro.int g 7) <- true
+  done;
+  Alcotest.(check bool) "all residues seen" true (Array.for_all Fun.id seen)
+
+let test_float_bounds () =
+  let g = Prng.Xoshiro.create 44L in
+  for _ = 1 to 10_000 do
+    let v = Prng.Xoshiro.float g 3.5 in
+    Alcotest.(check bool) "in [0,3.5)" true (0.0 <= v && v < 3.5)
+  done
+
+let test_bernoulli_extremes () =
+  let g = Prng.Xoshiro.create 45L in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Prng.Xoshiro.bernoulli g 0.0)
+  done;
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1 always" true (Prng.Xoshiro.bernoulli g 1.0)
+  done
+
+let test_bernoulli_mean () =
+  let g = Prng.Xoshiro.create 46L in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Prng.Xoshiro.bernoulli g 0.3 then incr hits
+  done;
+  let mean = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.3" true (Float.abs (mean -. 0.3) < 0.02)
+
+let test_exponential_mean () =
+  let g = Prng.Xoshiro.create 47L in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.Xoshiro.exponential g 2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 1/2" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_poisson_mean () =
+  let g = Prng.Xoshiro.create 48L in
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Prng.Xoshiro.poisson g 3.0
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 3" true (Float.abs (mean -. 3.0) < 0.1)
+
+let test_shuffle_permutation () =
+  let g = Prng.Xoshiro.create 49L in
+  let a = Array.init 50 Fun.id in
+  Prng.Xoshiro.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort Stdlib.compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_shuffle_moves_something () =
+  let g = Prng.Xoshiro.create 50L in
+  let a = Array.init 50 Fun.id in
+  Prng.Xoshiro.shuffle g a;
+  Alcotest.(check bool) "not identity" true (a <> Array.init 50 Fun.id)
+
+let test_pick_uniformish () =
+  let g = Prng.Xoshiro.create 51L in
+  let counts = Array.make 4 0 in
+  for _ = 1 to 8_000 do
+    let v = Prng.Xoshiro.pick g [| 0; 1; 2; 3 |] in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "roughly uniform" true (abs (c - 2000) < 300))
+    counts
+
+let qcheck_int_bound =
+  QCheck.Test.make ~name:"int bound respected for random bounds" ~count:500
+    QCheck.(pair small_int (int_bound 1_000_000))
+    (fun (seed, bound) ->
+      let bound = bound + 1 in
+      let g = Prng.Xoshiro.create (Int64.of_int seed) in
+      let v = Prng.Xoshiro.int g bound in
+      0 <= v && v < bound)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "splitmix64",
+        [
+          Alcotest.test_case "reference stream" `Quick test_splitmix_reference;
+          Alcotest.test_case "copy independence" `Quick test_splitmix_copy_independent;
+        ] );
+      ( "xoshiro",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_different_seeds_differ;
+          Alcotest.test_case "split independence" `Quick test_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int covers residues" `Quick test_int_covers_all_residues;
+          Alcotest.test_case "float bounds" `Quick test_float_bounds;
+          Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+          Alcotest.test_case "bernoulli mean" `Slow test_bernoulli_mean;
+          Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+          Alcotest.test_case "poisson mean" `Slow test_poisson_mean;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "shuffle moves" `Quick test_shuffle_moves_something;
+          Alcotest.test_case "pick uniform" `Quick test_pick_uniformish;
+          QCheck_alcotest.to_alcotest qcheck_int_bound;
+        ] );
+    ]

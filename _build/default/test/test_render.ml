@@ -1,0 +1,181 @@
+(* Tests for ASCII/SVG rendering and figure regeneration. *)
+open Lattice
+
+let test_slot_chars () =
+  Alcotest.(check char) "digit" '0' (Render.Ascii.slot_char 0);
+  Alcotest.(check char) "digit 9" '9' (Render.Ascii.slot_char 9);
+  Alcotest.(check char) "letter" 'a' (Render.Ascii.slot_char 10);
+  Alcotest.(check char) "letter z" 'z' (Render.Ascii.slot_char 35);
+  Alcotest.(check char) "overflow" '?' (Render.Ascii.slot_char 99)
+
+let test_grid_shape () =
+  let g = Render.Ascii.grid ~width:4 ~height:3 ~char_at:(fun ~x ~y -> if x = y then '#' else '.') in
+  let lines = String.split_on_char '\n' g in
+  Alcotest.(check int) "3 lines" 3 (List.length lines);
+  List.iter (fun l -> Alcotest.(check int) "width 4" 4 (String.length l)) lines;
+  (* Top line is y = 2: '#' at x = 2. *)
+  Alcotest.(check string) "orientation" "..#." (List.hd lines)
+
+let schedule_and_tiling () =
+  match Tiling.Search.find_tiling (Prototile.chebyshev_ball ~dim:2 1) with
+  | Some t -> (Core.Schedule.of_tiling t, t)
+  | None -> Alcotest.fail "ball tiles"
+
+let test_schedule_render_consistent () =
+  let s, _ = schedule_and_tiling () in
+  let pic = Render.Ascii.schedule s ~width:6 ~height:6 in
+  let lines = Array.of_list (String.split_on_char '\n' pic) in
+  (* Character at (x, y) must equal the slot char of the schedule. *)
+  for x = 0 to 5 do
+    for y = 0 to 5 do
+      let expected = Render.Ascii.slot_char (Core.Schedule.slot_at s (Zgeom.Vec.make2 x y)) in
+      Alcotest.(check char) "pixel matches slot" expected lines.(5 - y).[x]
+    done
+  done
+
+let test_tiling_render_tiles_contiguous () =
+  let _, t = schedule_and_tiling () in
+  let pic = Render.Ascii.tiling t ~width:9 ~height:9 in
+  let lines = Array.of_list (String.split_on_char '\n' pic) in
+  (* Two points of the same tile must carry the same letter. *)
+  let letter x y = lines.(8 - y).[x] in
+  for x = 0 to 8 do
+    for y = 0 to 8 do
+      let s, _ = Tiling.Single.tile_of t (Zgeom.Vec.make2 x y) in
+      let sx = Zgeom.Vec.x s and sy = Zgeom.Vec.y s in
+      if 0 <= sx && sx <= 8 && 0 <= sy && sy <= 8 then
+        Alcotest.(check char) "tile letter = anchor letter" (letter sx sy) (letter x y)
+    done
+  done
+
+let test_svg_wellformed () =
+  let d = Render.Svg.create ~width:4.0 ~height:4.0 in
+  Render.Svg.circle d ~cx:1.0 ~cy:1.0 ~r:0.2 ~fill:"black";
+  Render.Svg.rect d ~x:0.0 ~y:0.0 ~w:1.0 ~h:1.0 ~fill:"red" ();
+  Render.Svg.text d ~x:2.0 ~y:2.0 ~size:0.3 "hi";
+  Render.Svg.line d ~x1:0.0 ~y1:0.0 ~x2:3.0 ~y2:3.0 ~stroke:"blue" ~width:0.05;
+  Render.Svg.polygon d [ (0.0, 0.0); (1.0, 0.0); (0.5, 1.0) ] ~fill:"green" ();
+  let s = Render.Svg.to_string d in
+  Alcotest.(check bool) "has svg root" true
+    (String.length s > 0
+    && String.sub s 0 4 = "<svg"
+    && String.length s >= 7
+    && String.sub s (String.length s - 7) 6 = "</svg>")
+
+let test_svg_contains_elements () =
+  let d = Render.Svg.create ~width:2.0 ~height:2.0 in
+  Render.Svg.circle d ~cx:1.0 ~cy:0.5 ~r:0.5 ~fill:"black";
+  let s = Render.Svg.to_string d in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "circle present" true (contains "<circle");
+  Alcotest.(check bool) "y flipped (0.5 -> 1.5)" true (contains "cy=\"1.500\"")
+
+let test_palette_stable () =
+  Alcotest.(check string) "same input same color" (Render.Svg.palette 3) (Render.Svg.palette 3);
+  Alcotest.(check bool) "different colors exist" true
+    (Render.Svg.palette 0 <> Render.Svg.palette 1);
+  (* Negative keys are fine. *)
+  Alcotest.(check string) "negative wraps" (Render.Svg.palette (-16 + 5)) (Render.Svg.palette 5)
+
+(* --- Plot --- *)
+
+let test_bar_chart () =
+  let out = Render.Plot.bar ~width:10 [ ("aa", 10.0); ("b", 5.0); ("c", 0.0) ] in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  Alcotest.(check int) "three rows" 3 (List.length lines);
+  (* Max value gets a full-width bar, half value half of it. *)
+  let count_hashes l = String.fold_left (fun acc c -> if c = '#' then acc + 1 else acc) 0 l in
+  Alcotest.(check int) "max full" 10 (count_hashes (List.nth lines 0));
+  Alcotest.(check int) "half" 5 (count_hashes (List.nth lines 1));
+  Alcotest.(check int) "zero" 0 (count_hashes (List.nth lines 2))
+
+let test_line_chart_glyphs () =
+  let out =
+    Render.Plot.line ~width:30 ~height:8
+      [ { Render.Plot.label = "flat"; points = [ (0.0, 1.0); (10.0, 1.0) ] };
+        { Render.Plot.label = "rising"; points = [ (0.0, 0.0); (10.0, 10.0) ] } ]
+  in
+  let contains c = String.contains out c in
+  Alcotest.(check bool) "first glyph plotted" true (contains '*');
+  Alcotest.(check bool) "second glyph plotted" true (contains '+');
+  Alcotest.(check bool) "legend present" true
+    (let n = String.length out in
+     let needle = "legend:" in
+     let m = String.length needle in
+     let rec go i = i + m <= n && (String.sub out i m = needle || go (i + 1)) in
+     go 0)
+
+let test_line_chart_degenerate () =
+  (* Single point: must not crash or divide by zero. *)
+  let out =
+    Render.Plot.line [ { Render.Plot.label = "dot"; points = [ (5.0, 5.0) ] } ]
+  in
+  Alcotest.(check bool) "nonempty" true (String.length out > 0);
+  Alcotest.(check string) "empty series list" "(empty plot)\n"
+    (Render.Plot.line [ { Render.Plot.label = "none"; points = [] } ])
+
+let test_line_chart_log () =
+  let out =
+    Render.Plot.line ~log_y:true
+      [ { Render.Plot.label = "exp"; points = [ (0.0, 1.0); (1.0, 10.0); (2.0, 100.0) ] } ]
+  in
+  Alcotest.(check bool) "log marker shown" true
+    (let n = String.length out in
+     let needle = "log scale" in
+     let m = String.length needle in
+     let rec go i = i + m <= n && (String.sub out i m = needle || go (i + 1)) in
+     go 0)
+
+let test_all_figures_build () =
+  let figs = Render.Figures.all () in
+  Alcotest.(check int) "five figures" 5 (List.length figs);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (f.Render.Figures.name ^ " has ascii") true
+        (String.length f.Render.Figures.ascii > 0);
+      Alcotest.(check bool) (f.Render.Figures.name ^ " has svg") true
+        (String.length (Render.Svg.to_string f.Render.Figures.svg) > 100))
+    figs
+
+let test_save_all () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "tilesched_figs_test" in
+  let figs = [ Render.Figures.fig2_neighborhoods () ] in
+  Render.Figures.save_all ~dir figs;
+  Alcotest.(check bool) "svg written" true
+    (Sys.file_exists (Filename.concat dir "fig2_neighborhoods.svg"));
+  Alcotest.(check bool) "txt written" true
+    (Sys.file_exists (Filename.concat dir "fig2_neighborhoods.txt"))
+
+let () =
+  Alcotest.run "render"
+    [
+      ( "ascii",
+        [
+          Alcotest.test_case "slot chars" `Quick test_slot_chars;
+          Alcotest.test_case "grid shape" `Quick test_grid_shape;
+          Alcotest.test_case "schedule pixels" `Quick test_schedule_render_consistent;
+          Alcotest.test_case "tiling contiguity" `Quick test_tiling_render_tiles_contiguous;
+        ] );
+      ( "svg",
+        [
+          Alcotest.test_case "wellformed" `Quick test_svg_wellformed;
+          Alcotest.test_case "elements" `Quick test_svg_contains_elements;
+          Alcotest.test_case "palette" `Quick test_palette_stable;
+        ] );
+      ( "plot",
+        [
+          Alcotest.test_case "bar" `Quick test_bar_chart;
+          Alcotest.test_case "line glyphs" `Quick test_line_chart_glyphs;
+          Alcotest.test_case "degenerate" `Quick test_line_chart_degenerate;
+          Alcotest.test_case "log scale" `Quick test_line_chart_log;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "all build" `Slow test_all_figures_build;
+          Alcotest.test_case "save_all" `Quick test_save_all;
+        ] );
+    ]

@@ -1,0 +1,259 @@
+(* Tests for exact integer/rational geometry. *)
+open Zgeom
+
+let vec = Alcotest.testable Vec.pp Vec.equal
+
+(* --- Vec --- *)
+
+let test_vec_basic () =
+  let v = Vec.make2 3 (-2) in
+  Alcotest.(check int) "x" 3 (Vec.x v);
+  Alcotest.(check int) "y" (-2) (Vec.y v);
+  Alcotest.(check int) "dim" 2 (Vec.dim v);
+  Alcotest.check vec "of_list/to_list" v (Vec.of_list (Vec.to_list v))
+
+let test_vec_arith () =
+  let a = Vec.of_list [ 1; 2; 3 ] and b = Vec.of_list [ 4; -1; 0 ] in
+  Alcotest.check vec "add" (Vec.of_list [ 5; 1; 3 ]) (Vec.add a b);
+  Alcotest.check vec "sub" (Vec.of_list [ -3; 3; 3 ]) (Vec.sub a b);
+  Alcotest.check vec "neg" (Vec.of_list [ -1; -2; -3 ]) (Vec.neg a);
+  Alcotest.check vec "scale" (Vec.of_list [ 2; 4; 6 ]) (Vec.scale 2 a);
+  Alcotest.(check int) "dot" 2 (Vec.dot a b)
+
+let test_vec_norms () =
+  let v = Vec.of_list [ 3; -4 ] in
+  Alcotest.(check int) "norm1" 7 (Vec.norm1 v);
+  Alcotest.(check int) "norm_inf" 4 (Vec.norm_inf v);
+  Alcotest.(check int) "norm2_sq" 25 (Vec.norm2_sq v)
+
+let test_vec_immutable () =
+  let arr = [| 1; 2 |] in
+  let v = Vec.of_array arr in
+  arr.(0) <- 99;
+  Alcotest.(check int) "of_array copies" 1 (Vec.x v);
+  let out = Vec.to_array v in
+  out.(0) <- 77;
+  Alcotest.(check int) "to_array copies" 1 (Vec.x v)
+
+let test_vec_rot90 () =
+  let v = Vec.make2 2 1 in
+  Alcotest.check vec "rot90" (Vec.make2 (-1) 2) (Vec.rot90 v);
+  Alcotest.check vec "rot90^4 = id" v (Vec.rot90 (Vec.rot90 (Vec.rot90 (Vec.rot90 v))));
+  Alcotest.check vec "reflect" (Vec.make2 2 (-1)) (Vec.reflect_x v)
+
+let vec2_gen = QCheck.Gen.(map (fun (a, b) -> Vec.make2 a b) (pair (int_range (-50) 50) (int_range (-50) 50)))
+let vec2_arb = QCheck.make ~print:Vec.to_string vec2_gen
+
+let qcheck_vec_group =
+  QCheck.Test.make ~name:"vec addition is a commutative group" ~count:300
+    (QCheck.pair vec2_arb vec2_arb) (fun (a, b) ->
+      Vec.equal (Vec.add a b) (Vec.add b a)
+      && Vec.equal (Vec.add a (Vec.neg a)) (Vec.zero 2)
+      && Vec.equal (Vec.sub a b) (Vec.add a (Vec.neg b)))
+
+let qcheck_vec_norm_triangle =
+  QCheck.Test.make ~name:"triangle inequality (l1, linf)" ~count:300
+    (QCheck.pair vec2_arb vec2_arb) (fun (a, b) ->
+      Vec.norm1 (Vec.add a b) <= Vec.norm1 a + Vec.norm1 b
+      && Vec.norm_inf (Vec.add a b) <= Vec.norm_inf a + Vec.norm_inf b)
+
+(* --- Rat --- *)
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let test_rat_normalization () =
+  Alcotest.check rat "6/4 = 3/2" (Rat.make 3 2) (Rat.make 6 4);
+  Alcotest.check rat "-1/-2 = 1/2" Rat.half (Rat.make (-1) (-2));
+  Alcotest.check rat "2/-4 = -1/2" (Rat.make (-1) 2) (Rat.make 2 (-4));
+  Alcotest.(check int) "den positive" 2 (Rat.den (Rat.make 2 (-4)))
+
+let test_rat_arith () =
+  let a = Rat.make 1 3 and b = Rat.make 1 6 in
+  Alcotest.check rat "add" Rat.half (Rat.add a b);
+  Alcotest.check rat "sub" (Rat.make 1 6) (Rat.sub a b);
+  Alcotest.check rat "mul" (Rat.make 1 18) (Rat.mul a b);
+  Alcotest.check rat "div" (Rat.of_int 2) (Rat.div a b)
+
+let test_rat_floor_ceil () =
+  Alcotest.(check int) "floor 7/2" 3 (Rat.floor (Rat.make 7 2));
+  Alcotest.(check int) "floor -7/2" (-4) (Rat.floor (Rat.make (-7) 2));
+  Alcotest.(check int) "ceil 7/2" 4 (Rat.ceil (Rat.make 7 2));
+  Alcotest.(check int) "ceil -7/2" (-3) (Rat.ceil (Rat.make (-7) 2));
+  Alcotest.(check int) "floor integer" 5 (Rat.floor (Rat.of_int 5));
+  Alcotest.(check int) "ceil integer" 5 (Rat.ceil (Rat.of_int 5))
+
+let test_rat_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true (Rat.compare (Rat.make 1 3) Rat.half < 0);
+  Alcotest.(check bool) "-1/2 < 1/3" true (Rat.compare (Rat.make (-1) 2) (Rat.make 1 3) < 0);
+  Alcotest.(check int) "sign" (-1) (Rat.sign (Rat.make (-3) 7))
+
+let rat_gen =
+  QCheck.Gen.(
+    map
+      (fun (n, d) -> Rat.make n (if d = 0 then 1 else d))
+      (pair (int_range (-100) 100) (int_range (-30) 30)))
+
+let rat_arb = QCheck.make ~print:Rat.to_string rat_gen
+
+let qcheck_rat_field =
+  QCheck.Test.make ~name:"rational field laws" ~count:300 (QCheck.pair rat_arb rat_arb)
+    (fun (a, b) ->
+      Rat.equal (Rat.add a b) (Rat.add b a)
+      && Rat.equal (Rat.mul a b) (Rat.mul b a)
+      && Rat.equal (Rat.sub (Rat.add a b) b) a
+      && (Rat.sign b = 0 || Rat.equal (Rat.mul (Rat.div a b) b) a))
+
+let qcheck_rat_floor =
+  QCheck.Test.make ~name:"floor/ceil bracket the value" ~count:300 rat_arb (fun a ->
+      let f = Rat.of_int (Rat.floor a) and c = Rat.of_int (Rat.ceil a) in
+      Rat.compare f a <= 0 && Rat.compare a c <= 0
+      && Rat.ceil a - Rat.floor a <= 1)
+
+(* --- Zmat --- *)
+
+let test_det_examples () =
+  Alcotest.(check int) "identity" 1 (Zmat.det (Zmat.identity 3));
+  Alcotest.(check int) "2x2" (-2) (Zmat.det [| [| 1; 2 |]; [| 3; 4 |] |]);
+  Alcotest.(check int) "singular" 0 (Zmat.det [| [| 1; 2 |]; [| 2; 4 |] |]);
+  Alcotest.(check int) "3x3" 1 (Zmat.det [| [| 2; 3; 1 |]; [| 1; 2; 1 |]; [| 1; 1; 1 |] |]);
+  Alcotest.(check int) "needs pivot swap" (-1)
+    (Zmat.det [| [| 0; 1 |]; [| 1; 0 |] |])
+
+let test_hnf_examples () =
+  let h = Zmat.hnf [| [| 0; 1 |]; [| 2; 0 |] |] in
+  Alcotest.(check bool) "hnf shape" true (Zmat.is_hnf h);
+  Alcotest.(check int) "preserved det" 2 (abs (Zmat.det h))
+
+let test_hnf_negative_entries () =
+  let h = Zmat.hnf [| [| -3; 1 |]; [| 1; -3 |] |] in
+  Alcotest.(check bool) "hnf shape" true (Zmat.is_hnf h);
+  Alcotest.(check int) "det" 8 (abs (Zmat.det h))
+
+let test_snf_examples () =
+  let s = Zmat.snf [| [| 2; 0 |]; [| 0; 4 |] |] in
+  Alcotest.(check int) "d1" 2 s.(0).(0);
+  Alcotest.(check int) "d2" 4 s.(1).(1);
+  (* A matrix whose SNF requires the divisibility fix-up. *)
+  let s = Zmat.snf [| [| 2; 0 |]; [| 0; 3 |] |] in
+  Alcotest.(check int) "d1 divides d2" 0 (s.(1).(1) mod s.(0).(0));
+  Alcotest.(check int) "product = det" 6 (s.(0).(0) * s.(1).(1))
+
+let test_solve_triangular () =
+  let h = [| [| 2; 1 |]; [| 0; 3 |] |] in
+  (match Zmat.solve_triangular h [| 4; 5 |] with
+  | Some a ->
+    Alcotest.(check (array int)) "solution" [| 2; 1 |] a;
+    Alcotest.(check (array int)) "verifies" [| 4; 5 |] (Zmat.apply_row h a)
+  | None -> Alcotest.fail "expected solution");
+  Alcotest.(check bool) "no integer solution" true (Zmat.solve_triangular h [| 1; 0 |] = None)
+
+let test_mat_basic_ops () =
+  let a = [| [| 1; 2 |]; [| 3; 4 |] |] in
+  Alcotest.(check bool) "identity is neutral" true (Zmat.equal (Zmat.mul a (Zmat.identity 2)) a);
+  Alcotest.(check bool) "transpose involutive" true
+    (Zmat.equal (Zmat.transpose (Zmat.transpose a)) a);
+  Alcotest.(check (array int)) "apply_row = vector-matrix product" [| 7; 10 |]
+    (Zmat.apply_row a [| 1; 2 |]);
+  Alcotest.(check (pair int int)) "dims" (2, 2) (Zmat.dims a);
+  Alcotest.(check bool) "copy is deep" true
+    (let c = Zmat.copy a in
+     c.(0).(0) <- 99;
+     a.(0).(0) = 1)
+
+let test_unimodular () =
+  Alcotest.(check bool) "identity unimodular" true (Zmat.unimodular (Zmat.identity 3));
+  Alcotest.(check bool) "det -1 unimodular" true (Zmat.unimodular [| [| 0; 1 |]; [| 1; 0 |] |]);
+  Alcotest.(check bool) "det 2 not" false (Zmat.unimodular [| [| 2; 0 |]; [| 0; 1 |] |])
+
+let test_hnf_3x3 () =
+  let a = [| [| 2; 3; 5 |]; [| 7; 11; 13 |]; [| 17; 19; 23 |] |] in
+  let h = Zmat.hnf a in
+  Alcotest.(check bool) "3x3 hnf shape" true (Zmat.is_hnf h);
+  Alcotest.(check int) "3x3 det preserved" (abs (Zmat.det a)) (abs (Zmat.det h))
+
+let test_snf_3x3 () =
+  let s = Zmat.snf [| [| 2; 4; 4 |]; [| -6; 6; 12 |]; [| 10; 4; 16 |] |] in
+  (* Known example: SNF diag (2, 2, 156). *)
+  Alcotest.(check int) "d1" 2 s.(0).(0);
+  Alcotest.(check int) "d2" 2 s.(1).(1);
+  Alcotest.(check int) "d3" 156 s.(2).(2)
+
+let mat2_gen =
+  QCheck.Gen.(
+    map
+      (fun (a, b, c, d) -> [| [| a; b |]; [| c; d |] |])
+      (quad (int_range (-9) 9) (int_range (-9) 9) (int_range (-9) 9) (int_range (-9) 9)))
+
+let mat2_arb =
+  QCheck.make ~print:(fun m -> Format.asprintf "%a" Zmat.pp m) mat2_gen
+
+let qcheck_det_multiplicative =
+  QCheck.Test.make ~name:"det(AB) = det(A)det(B)" ~count:300 (QCheck.pair mat2_arb mat2_arb)
+    (fun (a, b) -> Zmat.det (Zmat.mul a b) = Zmat.det a * Zmat.det b)
+
+let qcheck_det_transpose =
+  QCheck.Test.make ~name:"det(A^T) = det(A)" ~count:300 mat2_arb (fun a ->
+      Zmat.det (Zmat.transpose a) = Zmat.det a)
+
+let qcheck_hnf_properties =
+  QCheck.Test.make ~name:"hnf: shape + |det| preserved + same row space" ~count:300 mat2_arb
+    (fun a ->
+      QCheck.assume (Zmat.det a <> 0);
+      let h = Zmat.hnf a in
+      Zmat.is_hnf h
+      && abs (Zmat.det h) = abs (Zmat.det a)
+      &&
+      (* Every row of a is an integer combination of rows of h. *)
+      Array.for_all (fun row -> Zmat.solve_triangular h row <> None) a)
+
+let qcheck_snf_divisibility =
+  QCheck.Test.make ~name:"snf: diagonal, nonneg, divisibility chain, det" ~count:300 mat2_arb
+    (fun a ->
+      let s = Zmat.snf a in
+      s.(0).(1) = 0 && s.(1).(0) = 0
+      && s.(0).(0) >= 0
+      && s.(1).(1) >= 0
+      && (s.(0).(0) = 0 || s.(1).(1) mod s.(0).(0) = 0)
+      && abs (s.(0).(0) * s.(1).(1)) = abs (Zmat.det a))
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "zgeom"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basic" `Quick test_vec_basic;
+          Alcotest.test_case "arithmetic" `Quick test_vec_arith;
+          Alcotest.test_case "norms" `Quick test_vec_norms;
+          Alcotest.test_case "immutability" `Quick test_vec_immutable;
+          Alcotest.test_case "rot90/reflect" `Quick test_vec_rot90;
+          qc qcheck_vec_group;
+          qc qcheck_vec_norm_triangle;
+        ] );
+      ( "rat",
+        [
+          Alcotest.test_case "normalization" `Quick test_rat_normalization;
+          Alcotest.test_case "arithmetic" `Quick test_rat_arith;
+          Alcotest.test_case "floor/ceil" `Quick test_rat_floor_ceil;
+          Alcotest.test_case "compare/sign" `Quick test_rat_compare;
+          qc qcheck_rat_field;
+          qc qcheck_rat_floor;
+        ] );
+      ( "zmat",
+        [
+          Alcotest.test_case "det examples" `Quick test_det_examples;
+          Alcotest.test_case "hnf examples" `Quick test_hnf_examples;
+          Alcotest.test_case "hnf negatives" `Quick test_hnf_negative_entries;
+          Alcotest.test_case "snf examples" `Quick test_snf_examples;
+          Alcotest.test_case "solve triangular" `Quick test_solve_triangular;
+          Alcotest.test_case "basic ops" `Quick test_mat_basic_ops;
+          Alcotest.test_case "unimodular" `Quick test_unimodular;
+          Alcotest.test_case "hnf 3x3" `Quick test_hnf_3x3;
+          Alcotest.test_case "snf 3x3" `Quick test_snf_3x3;
+          qc qcheck_det_multiplicative;
+          qc qcheck_det_transpose;
+          qc qcheck_hnf_properties;
+          qc qcheck_snf_divisibility;
+        ] );
+    ]
