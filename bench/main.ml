@@ -551,6 +551,66 @@ let aloha_tuning () =
      and energy the deterministic schedule never does (compare EXP-Q2).\n"
 
 (* ------------------------------------------------------------------ *)
+(* EXP-P1: parallel engine, speedup and determinism                     *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_speedup () =
+  section "EXP-P1" "parallel engine: speedup vs jobs, with output identity checked";
+  Printf.printf "host reports %d core(s) available to this process\n\n"
+    (Domain.recommended_domain_count ());
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  (* Each workload is a closure over a pool; the jobs=1 run is the
+     reference both for the timing baseline and for the identity check
+     (the determinism contract says every pool size returns the same
+     value, so equality here is a hard assertion, not a statistic). *)
+  let report name runs =
+    Printf.printf "%s\n" name;
+    Printf.printf "  %6s %12s %10s %10s\n" "jobs" "time (s)" "speedup" "identical";
+    let baseline = ref None in
+    List.iter
+      (fun jobs ->
+        Parallel.with_pool ~jobs (fun pool ->
+            let v, dt = wall (fun () -> runs pool) in
+            let same, base_dt =
+              match !baseline with
+              | None ->
+                baseline := Some (v, dt);
+                (true, dt)
+              | Some (v0, dt0) -> (v = v0, dt0)
+            in
+            assert same;
+            Printf.printf "  %6d %12.3f %9.2fx %10b\n" jobs dt (base_dt /. dt) same))
+      [ 1; 2; 4 ];
+    print_newline ()
+  in
+  let s_tet = Prototile.tetromino `S and z_tet = Prototile.tetromino `Z in
+  let sz_period = Sublattice.of_basis [| [| 4; 0 |]; [| 0; 8 |] |] in
+  report "torus exact cover, S+Z on 4x8, backtracking, all solutions" (fun pool ->
+      Tiling.Search.cover_torus ~period:sz_period ~prototiles:[ s_tet; z_tet ]
+        ~max_solutions:max_int ~engine:`Backtracking ~pool ());
+  report "torus exact cover, S+Z on 4x8, dancing links, all solutions" (fun pool ->
+      Tiling.Search.cover_torus ~period:sz_period ~prototiles:[ s_tet; z_tet ]
+        ~max_solutions:max_int ~engine:`Dlx ~pool ());
+  report "lattice tilings, Chebyshev ball r=3 (|N| = 49)" (fun pool ->
+      Tiling.Search.lattice_tilings ~pool (Prototile.chebyshev_ball ~dim:2 3));
+  let cheb1 = Prototile.chebyshev_ball ~dim:2 1 in
+  let sched = Core.Schedule.of_tiling (Option.get (Tiling.Search.find_tiling cheb1)) in
+  let sweep_cfg =
+    { (Netsim.Sim.default_config ~mac:(Netsim.Mac.lattice_tdma sched)) with
+      width = 16; height = 16; prototile = cheb1; duration = 4000 }
+  in
+  report "netsim sweep, 8 seeds x 4000 slots, 16x16 lattice TDMA" (fun pool ->
+      Netsim.Sim.run_sweep ~pool sweep_cfg ~seeds:(List.init 8 Int64.of_int));
+  Printf.printf
+    "speedup tracks the core count (a 1-core host shows ~1.00x everywhere:\n\
+     the pool adds domains but the OS interleaves them); the identity column\n\
+     is the determinism contract, asserted, not sampled.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -642,5 +702,6 @@ let () =
   bn_ablation ();
   channel_ablation ();
   aloha_tuning ();
+  parallel_speedup ();
   micro_benchmarks ();
   print_endline "\nall experiments complete."

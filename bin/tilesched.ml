@@ -82,6 +82,29 @@ let tile_arg =
     & opt (some tile_conv) None
     & info [ "t"; "tile" ] ~docv:"TILE" ~doc:"Interference prototile (e.g. cheb1, tet-S, rect2x4).")
 
+(* Every subcommand that searches or simulates takes [-j]: it sizes the
+   process-wide domain pool that the search engines draw from.  Results
+   are bit-identical at every value (see DESIGN.md, "Parallel engine"). *)
+let jobs_term =
+  let jobs_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some j when j >= 1 -> Ok j
+      | Some _ -> Error (`Msg "must be at least 1")
+      | None -> Error (`Msg "expected an integer")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  let jobs =
+    Arg.(
+      value & opt jobs_conv 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the search and simulation engines (1 = sequential). Output is \
+             bit-identical at every value.")
+  in
+  Term.(const Parallel.set_default_jobs $ jobs)
+
 let width_arg =
   Arg.(value & opt int 12 & info [ "w"; "width" ] ~docv:"W" ~doc:"Window/field width.")
 
@@ -120,7 +143,7 @@ let figure_cmd =
 (* ---------- exact ---------- *)
 
 let exact_cmd =
-  let run tile =
+  let run () tile =
     Printf.printf "prototile (m = %d):\n%s\n\n" (Prototile.size tile) (Render.Ascii.prototile tile);
     if Prototile.dim tile = 2 && Polyomino.is_polyomino tile then begin
       let w = Polyomino.boundary_word tile in
@@ -145,12 +168,12 @@ let exact_cmd =
   in
   Cmd.v
     (Cmd.info "exact" ~doc:"Decide whether a prototile tiles the lattice (question Q1).")
-    Term.(const run $ tile_arg)
+    Term.(const run $ jobs_term $ tile_arg)
 
 (* ---------- schedule ---------- *)
 
 let schedule_cmd =
-  let run tile width height =
+  let run () tile width height =
     match Tiling.Search.find_tiling tile with
     | None ->
       Error (`Msg "prototile admits no (discovered) tiling; no schedule of this form exists")
@@ -168,7 +191,7 @@ let schedule_cmd =
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Construct and verify an optimal schedule (Theorem 1).")
-    Term.(term_result (const run $ tile_arg $ width_arg $ height_arg))
+    Term.(term_result (const run $ jobs_term $ tile_arg $ width_arg $ height_arg))
 
 (* ---------- color ---------- *)
 
@@ -215,7 +238,15 @@ let simulate_cmd =
       & info [ "timeline" ] ~docv:"N"
           ~doc:"Also print per-slot timelines of the first N nodes (80 slots).")
   in
-  let run tile width height mac duration interval seed timeline =
+  let runs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "runs" ] ~docv:"N"
+          ~doc:
+            "Sweep N seeds (SEED, SEED+1, ...) and report each run plus aggregate statistics; \
+             the sweep is spread over the -j domains.")
+  in
+  let run () tile width height mac duration interval seed timeline runs =
     let mac_factory =
       match mac with
       | `Lattice -> (
@@ -226,38 +257,59 @@ let simulate_cmd =
       | `Aloha -> Ok (Netsim.Mac.slotted_aloha ~p:0.2 ~max_backoff_exp:6)
       | `Csma -> Ok (Netsim.Mac.p_csma ~p:0.3)
     in
-    Result.map
-      (fun mac ->
-        let tr = if timeline > 0 then Some (Netsim.Trace.create ()) else None in
-        let r =
-          Netsim.Sim.run
+    if runs < 1 then Error (`Msg "--runs must be at least 1")
+    else
+      Result.map
+        (fun mac ->
+          let cfg =
             { (Netsim.Sim.default_config ~mac) with width; height; prototile = tile; duration;
-              workload = Netsim.Workload.Periodic { interval }; seed = Int64.of_int seed;
-              trace = tr }
-        in
-        Format.printf "%a@." Netsim.Sim.pp_result r;
-        match tr with
-        | None -> ()
-        | Some tr ->
-          Printf.printf
-            "\ntimelines ('a' arrival, 'D' delivered, 'C' collided, '.' idle), slots 0-79:\n";
-          for node = 0 to min timeline (width * height) - 1 do
-            Printf.printf "node %3d  %s\n" node
-              (Netsim.Trace.timeline tr ~node ~horizon:(min 80 duration))
-          done)
-      mac_factory
+              workload = Netsim.Workload.Periodic { interval }; seed = Int64.of_int seed }
+          in
+          if runs = 1 then begin
+            let tr = if timeline > 0 then Some (Netsim.Trace.create ()) else None in
+            let r = Netsim.Sim.run { cfg with trace = tr } in
+            Format.printf "%a@." Netsim.Sim.pp_result r;
+            match tr with
+            | None -> ()
+            | Some tr ->
+              Printf.printf
+                "\ntimelines ('a' arrival, 'D' delivered, 'C' collided, '.' idle), slots 0-79:\n";
+              for node = 0 to min timeline (width * height) - 1 do
+                Printf.printf "node %3d  %s\n" node
+                  (Netsim.Trace.timeline tr ~node ~horizon:(min 80 duration))
+              done
+          end
+          else begin
+            if timeline > 0 then
+              prerr_endline "note: --timeline applies only to single runs; ignored with --runs";
+            let seeds = List.init runs (fun i -> Int64.add (Int64.of_int seed) (Int64.of_int i)) in
+            let results = Netsim.Sim.run_sweep cfg ~seeds in
+            List.iteri
+              (fun i r ->
+                Printf.printf "seed %-6Ld " (List.nth seeds i);
+                Format.printf "%a@." Netsim.Sim.pp_result r)
+              results;
+            let mean f = List.fold_left (fun acc r -> acc +. f r) 0.0 results /. float_of_int runs in
+            Printf.printf
+              "\naggregate over %d seeds: delivery %.1f%%  collisions %.1f  mean latency %.1f\n"
+              runs
+              (100.0 *. mean (fun r -> r.Netsim.Sim.stats.Netsim.Stats.delivery_ratio))
+              (mean (fun r -> float_of_int r.Netsim.Sim.stats.Netsim.Stats.collisions))
+              (mean (fun r -> r.Netsim.Sim.stats.Netsim.Stats.mean_latency))
+          end)
+        mac_factory
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the slotted wireless simulator.")
     Term.(
       term_result
-        (const run $ tile_arg $ width_arg $ height_arg $ mac_arg $ duration_arg $ interval_arg
-       $ seed_arg $ timeline_arg))
+        (const run $ jobs_term $ tile_arg $ width_arg $ height_arg $ mac_arg $ duration_arg
+       $ interval_arg $ seed_arg $ timeline_arg $ runs_arg))
 
 (* ---------- certify ---------- *)
 
 let certify_cmd =
-  let run tile =
+  let run () tile =
     match Tiling.Search.find_tiling tile with
     | None -> Error (`Msg "prototile admits no tiling")
     | Some tiling ->
@@ -273,7 +325,7 @@ let certify_cmd =
   Cmd.v
     (Cmd.info "certify"
        ~doc:"Emit a machine-checkable optimality certificate for a prototile's schedule.")
-    Term.(term_result (const run $ tile_arg))
+    Term.(term_result (const run $ jobs_term $ tile_arg))
 
 (* ---------- export ---------- *)
 
@@ -285,7 +337,7 @@ let export_cmd =
       & info [ "f"; "format" ] ~docv:"FMT"
           ~doc:"Output format: record (parsable schedule line) or csv (per-sensor slots).")
   in
-  let run tile width height fmt =
+  let run () tile width height fmt =
     match Tiling.Search.find_tiling tile with
     | None -> Error (`Msg "prototile admits no tiling")
     | Some tiling ->
@@ -305,7 +357,7 @@ let export_cmd =
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Serialize a schedule for deployment tooling.")
-    Term.(term_result (const run $ tile_arg $ width_arg $ height_arg $ fmt_arg))
+    Term.(term_result (const run $ jobs_term $ tile_arg $ width_arg $ height_arg $ fmt_arg))
 
 (* ---------- sync ---------- *)
 
@@ -319,7 +371,7 @@ let sync_cmd =
   let duration_arg =
     Arg.(value & opt int 20000 & info [ "duration" ] ~docv:"SLOTS" ~doc:"Simulated slots.")
   in
-  let run tile width height resync drift duration =
+  let run () tile width height resync drift duration =
     match Tiling.Search.find_tiling tile with
     | None -> Error (`Msg "prototile admits no tiling")
     | Some tiling ->
@@ -341,7 +393,8 @@ let sync_cmd =
     (Cmd.info "sync" ~doc:"Simulate beacon-flooding time synchronization.")
     Term.(
       term_result
-        (const run $ tile_arg $ width_arg $ height_arg $ resync_arg $ drift_arg $ duration_arg))
+        (const run $ jobs_term $ tile_arg $ width_arg $ height_arg $ resync_arg $ drift_arg
+       $ duration_arg))
 
 let () =
   let doc = "Collision-free sensor scheduling by lattice tilings (Klappenecker-Lee-Welch 2008)" in

@@ -1,4 +1,4 @@
 let tdma_slots = Graph.size
 let tdma_coloring g = Array.init (Graph.size g) Fun.id
-let exact_min_colors g = Core.Optimality.chromatic_number ~adj:(Graph.adj g)
+let exact_min_colors g = Core.Optimality.chromatic_number (Graph.adj g)
 let tiling_slot_count = Lattice.Prototile.size

@@ -73,7 +73,7 @@ let optimal_slots ?(witnessed = true) ~neighborhood dom =
     if witnessed then conflict_adj_witnessed ~neighborhood sensors
     else conflict_adj ~neighborhood sensors
   in
-  Optimality.chromatic_number ~adj
+  Optimality.chromatic_number adj
 
 let restriction_is_optimal tiling dom =
   let n = Tiling.Single.prototile tiling in

@@ -80,49 +80,105 @@ let role_conflicts multi =
 (* Exact graph coloring by backtracking: vertices in static degree order,
    allowing at most one fresh color beyond those already used (standard
    symmetry breaking). *)
+let degree_order adj =
+  let n = Array.length adj in
+  let idx = Array.init n Fun.id in
+  let deg v = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 adj.(v) in
+  Array.sort (fun a b -> Stdlib.compare (deg b) (deg a)) idx;
+  idx
+
+(* Extend a partial assignment of [order.(0 .. pos-1)] to a full k-coloring;
+   [colors] holds the attempt and keeps the witness on success. *)
+let extend ~adj ~order colors ~pos ~used k =
+  let n = Array.length adj in
+  let rec go pos used =
+    if pos = n then true
+    else begin
+      let v = order.(pos) in
+      let limit = min k (used + 1) in
+      let rec try_color c =
+        if c >= limit then false
+        else begin
+          let ok = ref true in
+          for u = 0 to n - 1 do
+            if adj.(v).(u) && colors.(u) = c then ok := false
+          done;
+          if !ok then begin
+            colors.(v) <- c;
+            if go (pos + 1) (max used (c + 1)) then true
+            else begin
+              colors.(v) <- -1;
+              try_color (c + 1)
+            end
+          end
+          else try_color (c + 1)
+        end
+      in
+      try_color 0
+    end
+  in
+  go pos used
+
 let color_with ~adj k =
   let n = Array.length adj in
   if n = 0 then Some [||]
   else begin
-    let order =
-      let idx = Array.init n Fun.id in
-      let deg v = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 adj.(v) in
-      Array.sort (fun a b -> Stdlib.compare (deg b) (deg a)) idx;
-      idx
-    in
+    let order = degree_order adj in
     let colors = Array.make n (-1) in
-    let rec go pos used =
-      if pos = n then true
-      else begin
-        let v = order.(pos) in
-        let limit = min k (used + 1) in
-        let rec try_color c =
-          if c >= limit then false
-          else begin
-            let ok = ref true in
-            for u = 0 to n - 1 do
-              if adj.(v).(u) && colors.(u) = c then ok := false
-            done;
-            if !ok then begin
-              colors.(v) <- c;
-              if go (pos + 1) (max used (c + 1)) then true
-              else begin
-                colors.(v) <- -1;
-                try_color (c + 1)
-              end
-            end
-            else try_color (c + 1)
-          end
-        in
-        try_color 0
-      end
-    in
-    if go 0 0 then Some colors else None
+    if extend ~adj ~order colors ~pos:0 ~used:0 k then Some colors else None
   end
 
-let chromatic_number ~adj =
+(* Parallel k-colorability decision: enumerate the valid partial
+   assignments a few levels deep (breadth-first, under the same symmetry
+   breaking), then evaluate the subtrees on the pool's domains.  The
+   answer is an existence question, so it is identical to the sequential
+   search's for any pool size and branch timing. *)
+let color_feasible pool ~adj k =
   let n = Array.length adj in
-  let rec go k = if k > n then n else if color_with ~adj k <> None then k else go (k + 1) in
+  if n = 0 then true
+  else if Parallel.jobs pool = 1 then color_with ~adj k <> None
+  else begin
+    let order = degree_order adj in
+    let target = 4 * Parallel.jobs pool in
+    let rec widen pos prefixes =
+      if pos >= n || List.length prefixes >= target then (pos, prefixes)
+      else begin
+        let v = order.(pos) in
+        let next =
+          List.concat_map
+            (fun (colors, used) ->
+              let limit = min k (used + 1) in
+              List.filter_map
+                (fun c ->
+                  let clash = ref false in
+                  for u = 0 to n - 1 do
+                    if adj.(v).(u) && colors.(u) = c then clash := true
+                  done;
+                  if !clash then None
+                  else begin
+                    let colors' = Array.copy colors in
+                    colors'.(v) <- c;
+                    Some (colors', max used (c + 1))
+                  end)
+                (List.init limit Fun.id))
+            prefixes
+        in
+        widen (pos + 1) next
+      end
+    in
+    let pos, prefixes = widen 0 [ (Array.make n (-1), 0) ] in
+    if pos >= n then prefixes <> []
+    else
+      Parallel.map_array pool
+        (fun (colors, used) -> extend ~adj ~order colors ~pos ~used k)
+        (Array.of_list prefixes)
+      |> Array.exists Fun.id
+  end
+
+let chromatic_number ?pool adj =
+  let pool = match pool with Some pl -> pl | None -> Parallel.default () in
+  let n = Array.length adj in
+  let rec go k = if k > n then n else if color_feasible pool ~adj k then k else go (k + 1) in
   go 0
 
 let role_graph multi =
@@ -144,9 +200,9 @@ let role_graph multi =
     (role_conflicts multi);
   (adj, base, sizes)
 
-let ground_rule_minimum multi =
+let ground_rule_minimum ?pool multi =
   let adj, _, _ = role_graph multi in
-  chromatic_number ~adj
+  chromatic_number ?pool adj
 
 let ground_rule_assignment multi k =
   let adj, base, sizes = role_graph multi in

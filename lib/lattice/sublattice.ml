@@ -74,11 +74,14 @@ let snf_divisors t =
 let equal a b = a.dim = b.dim && Zmat.equal a.hnf b.hnf
 let compare a b = Stdlib.compare (a.dim, a.hnf) (b.dim, b.hnf)
 
-let all_of_index ~dim:d n =
+(* Enumerate HNF matrices: positive diagonal (d_0, ..., d_{d-1}) with
+   product [n]; in column [i], the entries above the diagonal range over
+   [0, d_i).  The enumeration is split by diagonal so callers can farm the
+   per-diagonal families out to worker domains: concatenating
+   [all_with_diagonal] over [hnf_diagonals] in order reproduces
+   [all_of_index] exactly. *)
+let hnf_diagonals ~dim:d n =
   assert (d > 0 && n > 0);
-  (* Enumerate HNF matrices: positive diagonal (d_0, ..., d_{d-1}) with
-     product [n]; in column [i], the entries above the diagonal range over
-     [0, d_i). *)
   let rec divisor_tuples d n =
     if d = 1 then [ [ n ] ]
     else
@@ -88,6 +91,10 @@ let all_of_index ~dim:d n =
           else [])
         (List.init n (fun i -> i + 1))
   in
+  divisor_tuples d n
+
+let all_with_diagonal ~dim:d diag =
+  assert (d > 0 && List.length diag = d && List.for_all (fun x -> x > 0) diag);
   let matrices_for diag =
     let diag = Array.of_list diag in
     let m0 = Array.init d (fun i -> Array.init d (fun j -> if i = j then diag.(i) else 0)) in
@@ -111,7 +118,10 @@ let all_of_index ~dim:d n =
     in
     fill m0 !free
   in
-  divisor_tuples d n |> List.concat_map matrices_for |> List.map of_basis
+  matrices_for diag |> List.map of_basis
+
+let all_of_index ~dim:d n =
+  List.concat_map (all_with_diagonal ~dim:d) (hnf_diagonals ~dim:d n)
 
 let pp fmt t = Zmat.pp fmt t.hnf
 let to_string t = Format.asprintf "%a" pp t

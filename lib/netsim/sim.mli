@@ -60,6 +60,15 @@ type result = {
 
 val run : config -> result
 
+val run_sweep : ?pool:Parallel.pool -> config -> seeds:int64 list -> result list
+(** Independent {!run}s of the same configuration at each seed, in seed
+    order.  With a pool of more than one domain (default
+    {!Parallel.default}), the runs execute on separate domains; each run
+    is fully self-contained (per-node PRNG streams split off its seed),
+    so the result list is identical to sequentially mapping {!run} -
+    except that [trace] is forced to [None] (a shared trace sink across
+    concurrent runs would interleave nondeterministically). *)
+
 val pp_result : Format.formatter -> result -> unit
 
 val conservation_ok : result -> bool

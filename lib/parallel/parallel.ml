@@ -1,0 +1,160 @@
+(* A generation-stamped batch dispatcher: workers park on [start] between
+   batches; a batch bumps [generation], publishes the task under the
+   mutex, and everyone (submitter included) pulls indices from one atomic
+   counter.  Results are written by index on the caller's side, so
+   scheduling order never shows in the output. *)
+
+type pool = {
+  pool_jobs : int;
+  mutex : Mutex.t;
+  start : Condition.t;
+  finished : Condition.t;
+  mutable generation : int;
+  mutable task : (int -> unit) option;
+  mutable limit : int;
+  next : int Atomic.t;
+  mutable active : int;  (* workers still draining the current batch *)
+  mutable stop : bool;
+  mutable busy : bool;  (* a batch is in flight; re-entry runs inline *)
+  mutable failure : exn option;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs p = p.pool_jobs
+
+(* Pull indices until the batch is exhausted (or poisoned by a failure;
+   the unsynchronized read of [failure] is only an early-exit hint). *)
+let drain pool f n =
+  let continue = ref true in
+  while !continue do
+    let i = Atomic.fetch_and_add pool.next 1 in
+    if i >= n || pool.failure <> None then continue := false
+    else
+      try f i
+      with e ->
+        Mutex.lock pool.mutex;
+        if pool.failure = None then pool.failure <- Some e;
+        Mutex.unlock pool.mutex
+  done
+
+let rec worker_loop pool my_gen =
+  Mutex.lock pool.mutex;
+  while pool.generation = my_gen && not pool.stop do
+    Condition.wait pool.start pool.mutex
+  done;
+  if pool.stop then Mutex.unlock pool.mutex
+  else begin
+    let gen = pool.generation in
+    let f = Option.get pool.task and n = pool.limit in
+    Mutex.unlock pool.mutex;
+    drain pool f n;
+    Mutex.lock pool.mutex;
+    pool.active <- pool.active - 1;
+    if pool.active = 0 then Condition.broadcast pool.finished;
+    Mutex.unlock pool.mutex;
+    worker_loop pool gen
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Parallel.create: jobs must be >= 1";
+  let pool =
+    { pool_jobs = jobs; mutex = Mutex.create (); start = Condition.create ();
+      finished = Condition.create (); generation = 0; task = None; limit = 0;
+      next = Atomic.make 0; active = 0; stop = false; busy = false; failure = None;
+      domains = [] }
+  in
+  if jobs > 1 then
+    pool.domains <-
+      List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool 0));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.start;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let run_inline f n =
+  for i = 0 to n - 1 do
+    f i
+  done
+
+let parallel_for pool ~n f =
+  if n <= 0 then ()
+  else if pool.pool_jobs = 1 || n = 1 || pool.domains = [] then run_inline f n
+  else begin
+    Mutex.lock pool.mutex;
+    if pool.busy then begin
+      (* Re-entrant (or concurrent) submission: stay correct, run inline. *)
+      Mutex.unlock pool.mutex;
+      run_inline f n
+    end
+    else begin
+      pool.busy <- true;
+      pool.task <- Some f;
+      pool.limit <- n;
+      Atomic.set pool.next 0;
+      pool.failure <- None;
+      pool.active <- List.length pool.domains;
+      pool.generation <- pool.generation + 1;
+      Condition.broadcast pool.start;
+      Mutex.unlock pool.mutex;
+      drain pool f n;
+      Mutex.lock pool.mutex;
+      while pool.active > 0 do
+        Condition.wait pool.finished pool.mutex
+      done;
+      pool.task <- None;
+      pool.busy <- false;
+      let failure = pool.failure in
+      pool.failure <- None;
+      Mutex.unlock pool.mutex;
+      match failure with Some e -> raise e | None -> ()
+    end
+  end
+
+let map_array pool f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for pool ~n (fun i -> out.(i) <- Some (f xs.(i)));
+    Array.map Option.get out
+  end
+
+let map pool f xs = Array.to_list (map_array pool f (Array.of_list xs))
+let filter_map pool f xs = List.filter_map Fun.id (map pool f xs)
+let concat_map pool f xs = List.concat (map pool f xs)
+
+(* ---------- the process-wide default pool ---------- *)
+
+let env_jobs () =
+  match Sys.getenv_opt "TILESCHED_JOBS" with
+  | None -> 1
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some j when j >= 1 -> j | _ -> 1)
+
+let default_jobs = ref (env_jobs ())
+let default_pool = ref None
+
+let default () =
+  match !default_pool with
+  | Some p -> p
+  | None ->
+    let p = create ~jobs:!default_jobs in
+    default_pool := Some p;
+    p
+
+let set_default_jobs j =
+  if j < 1 then invalid_arg "Parallel.set_default_jobs: jobs must be >= 1";
+  (match !default_pool with
+  | Some p when p.pool_jobs <> j ->
+    shutdown p;
+    default_pool := None
+  | _ -> ());
+  default_jobs := j

@@ -1,0 +1,79 @@
+(** A fixed pool of worker domains with deterministic fork/join maps.
+
+    The search kernels of this project - sublattice enumeration, exact
+    cover on the torus quotient, chromatic-number branching, multi-seed
+    simulation sweeps - are embarrassingly parallel over independent
+    subtrees.  This module provides the one primitive they share: run
+    [n] independent tasks on a fixed set of domains and collect the
+    results {e by task index}, so the output is bit-identical to the
+    sequential run no matter how the tasks were interleaved.
+
+    {2 Determinism contract}
+
+    Every function here is a pure fork/join: task [i] may only write its
+    own slot of the result, slots are assembled in index order, and no
+    task observes another's timing.  Provided the task function itself is
+    deterministic, [map pool f xs = List.map f xs] for {e every} pool
+    size - the tests enforce this for the search engines at
+    [jobs = 1, 2, 4].
+
+    {2 Pool lifecycle}
+
+    A pool of [~jobs:j] keeps [j - 1] worker domains parked on a
+    condition variable between batches; the calling domain works too, so
+    [j] is the total parallelism.  [jobs = 1] spawns nothing and runs
+    every batch inline.  Pools are cheap to keep around and are meant to
+    be created once (see {!default}); [shutdown] joins the workers.
+
+    Nested use is safe but not parallel: a task that re-enters the same
+    pool (or any batch submitted while one is running) falls back to
+    inline sequential execution rather than deadlocking. *)
+
+type pool
+
+val create : jobs:int -> pool
+(** [create ~jobs] spawns [jobs - 1] worker domains.  [jobs] must be at
+    least 1.  Oversubscribing the machine is allowed but pointless. *)
+
+val jobs : pool -> int
+(** Total parallelism (workers + the submitting domain). *)
+
+val shutdown : pool -> unit
+(** Terminate and join the workers; the pool then runs everything
+    inline.  Idempotent. *)
+
+val with_pool : jobs:int -> (pool -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down
+    afterwards, also on exception. *)
+
+val default : unit -> pool
+(** The process-wide shared pool, created on first use with
+    {!set_default_jobs}'s value (initially [TILESCHED_JOBS] from the
+    environment, else 1 - fully sequential).  All search entry points
+    fall back to this pool when not handed one explicitly, which is how
+    the [tilesched -j] flag reaches them. *)
+
+val set_default_jobs : int -> unit
+(** Set the size used by {!default}; if the default pool already exists
+    at a different size it is shut down and recreated lazily. *)
+
+val parallel_for : pool -> n:int -> (int -> unit) -> unit
+(** Run [f 0 .. f (n-1)], distributed over the pool; returns when all
+    are done.  If any task raises, one of the exceptions is re-raised
+    here after the batch drains (remaining tasks are skipped on a
+    best-effort basis). *)
+
+val map_array : pool -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array pool f xs]: like [Array.map f xs]; element [i] of the
+    result is [f xs.(i)] regardless of which domain computed it. *)
+
+val map : pool -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs = List.map f xs], computed in parallel. *)
+
+val filter_map : pool -> ('a -> 'b option) -> 'a list -> 'b list
+(** [filter_map pool f xs = List.filter_map f xs]: [f] runs in
+    parallel, the filtering keeps list order. *)
+
+val concat_map : pool -> ('a -> 'b list) -> 'a list -> 'b list
+(** [concat_map pool f xs = List.concat_map f xs]: chunk results are
+    concatenated in input order. *)

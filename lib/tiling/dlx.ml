@@ -92,10 +92,42 @@ let uncover p c =
   p.right.(p.left.(c)) <- c;
   p.left.(p.right.(c)) <- c
 
-let solve ?(max_solutions = max_int) p =
+(* Nodes of row [r] in insertion (element) order. *)
+let row_nodes p r =
+  let first = ref (-1) in
+  (try
+     for node = p.universe + 1 to p.num_nodes - 1 do
+       if p.row_of.(node) = r then begin
+         first := node;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !first < 0 then invalid_arg "Dlx: forced row is empty or out of range";
+  let acc = ref [ !first ] in
+  let j = ref p.right.(!first) in
+  while !j <> !first do
+    acc := !j :: !acc;
+    j := p.right.(!j)
+  done;
+  List.rev !acc
+
+let solve ?(max_solutions = max_int) ?(forced = []) p =
   let solutions = ref [] in
   let count = ref 0 in
   let chosen = ref [] in
+  (* Pre-select the forced rows exactly as Algorithm X would after
+     choosing them: cover every column they touch.  The final link
+     structure does not depend on the cover order, so the remaining
+     search is precisely the subtree below those choices. *)
+  let forced_cols =
+    List.concat_map
+      (fun r ->
+        chosen := r :: !chosen;
+        List.map (fun node -> p.col.(node)) (row_nodes p r))
+      forced
+  in
+  List.iter (fun c -> cover p c) forced_cols;
   let rec search () =
     if !count >= max_solutions then ()
     else if p.right.(p.root) = p.root then begin
@@ -135,6 +167,7 @@ let solve ?(max_solutions = max_int) p =
     end
   in
   search ();
+  List.iter (fun c -> uncover p c) (List.rev forced_cols);
   List.rev !solutions
 
 let count ?(limit = max_int) p = List.length (solve ~max_solutions:limit p)

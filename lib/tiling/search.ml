@@ -1,7 +1,8 @@
 open Zgeom
 open Lattice
 
-let lattice_tilings p =
+let lattice_tilings ?pool p =
+  let pool = match pool with Some pl -> pl | None -> Parallel.default () in
   let d = Prototile.dim p in
   let m = Prototile.size p in
   let cells = Prototile.cells p in
@@ -17,7 +18,11 @@ let lattice_tilings p =
         end)
       cells
   in
-  List.filter complete_residues (Sublattice.all_of_index ~dim:d m)
+  (* One task per HNF diagonal family; concatenating in diagonal order is
+     exactly the sequential [all_of_index] enumeration. *)
+  Parallel.concat_map pool
+    (fun diag -> List.filter complete_residues (Sublattice.all_with_diagonal ~dim:d diag))
+    (Sublattice.hnf_diagonals ~dim:d m)
 
 let find_lattice_tiling p =
   match lattice_tilings p with
@@ -29,7 +34,10 @@ let find_lattice_tiling p =
 
 type placement = { piece : int; anchor : Vec.t; covers : int list }
 
-let cover_torus ~period ~prototiles ?(max_solutions = 64) ?(engine = `Backtracking) () =
+let rec take n = function [] -> [] | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+let cover_torus ~period ~prototiles ?(max_solutions = 64) ?(engine = `Backtracking) ?pool () =
+  let pool = match pool with Some pl -> pl | None -> Parallel.default () in
   let idx = Sublattice.index period in
   let anchors = Sublattice.cosets period in
   let placements =
@@ -50,58 +58,108 @@ let cover_torus ~period ~prototiles ?(max_solutions = 64) ?(engine = `Backtracki
   (* by_cell.(c) = placements covering cell c *)
   let by_cell = Array.make idx [] in
   List.iter (fun pl -> List.iter (fun c -> by_cell.(c) <- pl :: by_cell.(c)) pl.covers) placements;
-  let covered = Array.make idx false in
-  let solutions = ref [] in
-  let count = ref 0 in
-  let chosen = ref [] in
-  let free pl = List.for_all (fun c -> not covered.(c)) pl.covers in
-  let rec solve () =
-    if !count >= max_solutions then ()
-    else begin
-      (* Most-constrained uncovered cell first. *)
-      let best = ref (-1) in
-      let best_cands = ref [] in
-      let best_n = ref max_int in
-      for c = 0 to idx - 1 do
-        if not covered.(c) && !best_n > 0 then begin
-          let cands = List.filter free by_cell.(c) in
-          let n = List.length cands in
-          if n < !best_n then begin
-            best := c;
-            best_cands := cands;
-            best_n := n
-          end
+  let free covered pl = List.for_all (fun c -> not covered.(c)) pl.covers in
+  (* Most-constrained uncovered cell and its free placements; both engines
+     branch on this cell first (first strict minimum in cell order), which
+     is what lets the parallel split mirror their sequential traversals. *)
+  let best_cell covered =
+    let best = ref (-1) in
+    let best_cands = ref [] in
+    let best_n = ref max_int in
+    for c = 0 to idx - 1 do
+      if (not covered.(c)) && !best_n > 0 then begin
+        let cands = List.filter (free covered) by_cell.(c) in
+        let n = List.length cands in
+        if n < !best_n then begin
+          best := c;
+          best_cands := cands;
+          best_n := n
         end
-      done;
-      if !best < 0 then begin
-        (* Everything covered: record the solution. *)
-        solutions := List.rev !chosen :: !solutions;
-        incr count
       end
-      else
-        List.iter
-          (fun pl ->
-            if free pl then begin
-              List.iter (fun c -> covered.(c) <- true) pl.covers;
-              chosen := pl :: !chosen;
-              solve ();
-              chosen := List.tl !chosen;
-              List.iter (fun c -> covered.(c) <- false) pl.covers
-            end)
-          !best_cands
+    done;
+    (!best, !best_cands)
+  in
+  let bt_solve ~covered ~chosen0 ~budget =
+    let solutions = ref [] in
+    let count = ref 0 in
+    let chosen = ref chosen0 in
+    let rec solve () =
+      if !count >= budget then ()
+      else begin
+        let best, best_cands = best_cell covered in
+        if best < 0 then begin
+          (* Everything covered: record the solution. *)
+          solutions := List.rev !chosen :: !solutions;
+          incr count
+        end
+        else
+          List.iter
+            (fun pl ->
+              if free covered pl then begin
+                List.iter (fun c -> covered.(c) <- true) pl.covers;
+                chosen := pl :: !chosen;
+                solve ();
+                chosen := List.tl !chosen;
+                List.iter (fun c -> covered.(c) <- false) pl.covers
+              end)
+            best_cands
+      end
+    in
+    solve ();
+    List.rev !solutions
+  in
+  (* Parallel split, shared by both engines: branch on the root cell, give
+     each candidate placement its own domain-local subtree, and merge the
+     per-subtree solution lists in branch order.  Every subtree enumerates
+     in the sequential engine's order and sequential search takes a prefix
+     of each subtree in turn, so the merged, truncated list is identical
+     to the sequential result - for any pool size. *)
+  let bt_parallel () =
+    let root, cands = best_cell (Array.make idx false) in
+    if root < 0 then [ [] ]
+    else begin
+      let cand_arr = Array.of_list cands in
+      Parallel.map_array pool
+        (fun pl ->
+          let covered = Array.make idx false in
+          List.iter (fun c -> covered.(c) <- true) pl.covers;
+          bt_solve ~covered ~chosen0:[ pl ] ~budget:max_solutions)
+        cand_arr
+      |> Array.to_list |> List.concat |> take max_solutions
     end
   in
-  let dlx_solutions () =
-    let placement_arr = Array.of_list placements in
-    let problem = Dlx.create ~universe:idx (List.map (fun pl -> pl.covers) placements) in
-    Dlx.solve ~max_solutions problem |> List.map (List.map (fun i -> placement_arr.(i)))
+  let rows = List.map (fun pl -> pl.covers) placements in
+  let dlx_parallel placement_arr =
+    let root, _ = best_cell (Array.make idx false) in
+    if root < 0 then [ [] ]
+    else begin
+      (* Rows of the root column in insertion order = DLX's branch order. *)
+      let cand_rows = ref [] in
+      Array.iteri
+        (fun i pl -> if List.mem root pl.covers then cand_rows := i :: !cand_rows)
+        placement_arr;
+      let cand_rows = Array.of_list (List.rev !cand_rows) in
+      Parallel.map_array pool
+        (fun r ->
+          let problem = Dlx.create ~universe:idx rows in
+          Dlx.solve ~max_solutions ~forced:[ r ] problem)
+        cand_rows
+      |> Array.to_list |> List.concat |> take max_solutions
+      |> List.map (List.map (fun i -> placement_arr.(i)))
+    end
   in
   let raw_solutions =
     match engine with
     | `Backtracking ->
-      solve ();
-      List.rev !solutions
-    | `Dlx -> dlx_solutions ()
+      if Parallel.jobs pool > 1 then bt_parallel ()
+      else bt_solve ~covered:(Array.make idx false) ~chosen0:[] ~budget:max_solutions
+    | `Dlx ->
+      let placement_arr = Array.of_list placements in
+      if Parallel.jobs pool > 1 then dlx_parallel placement_arr
+      else
+        Dlx.create ~universe:idx rows
+        |> Dlx.solve ~max_solutions
+        |> List.map (List.map (fun i -> placement_arr.(i)))
   in
   let to_multi sol =
     let pieces =

@@ -18,9 +18,14 @@
       translation sets (e.g. [{0, 2}] in [Z] tiles only with
       [T = {0,1} + 4Z]). *)
 
-val lattice_tilings : Lattice.Prototile.t -> Lattice.Sublattice.t list
+val lattice_tilings : ?pool:Parallel.pool -> Lattice.Prototile.t -> Lattice.Sublattice.t list
 (** All period sublattices [Lambda] of index [|N|] with the cells pairwise
-    non-congruent mod [Lambda]; each yields [Single.lattice_tiling]. *)
+    non-congruent mod [Lambda]; each yields [Single.lattice_tiling].
+
+    The HNF enumeration is partitioned by diagonal family
+    ({!Lattice.Sublattice.hnf_diagonals}) and the families are checked on
+    the pool's domains (default {!Parallel.default}); the result list is
+    identical to the sequential enumeration at every pool size. *)
 
 val find_lattice_tiling : Lattice.Prototile.t -> Single.t option
 
@@ -29,6 +34,7 @@ val cover_torus :
   prototiles:Lattice.Prototile.t list ->
   ?max_solutions:int ->
   ?engine:[ `Backtracking | `Dlx ] ->
+  ?pool:Parallel.pool ->
   unit ->
   Multi.t list
 (** All exact covers of the quotient by translates of the prototiles
@@ -40,7 +46,19 @@ val cover_torus :
     [engine] selects the solver: the default [`Backtracking] is a simple
     most-constrained-cell backtracker; [`Dlx] is Knuth's Algorithm X with
     dancing links ({!Dlx}). Both return the same solution set (tests
-    enforce it); DLX is faster on larger quotients. *)
+    enforce it); DLX is faster on larger quotients.
+
+    {b Determinism contract.}  With a [pool] of more than one domain
+    (default {!Parallel.default}), the search splits at the root
+    branching cell - the most constrained cell, which is also the first
+    column either sequential engine would branch on - and solves one
+    subtree per candidate placement across the domains, merging the
+    per-subtree solution lists in branch order and truncating to
+    [max_solutions].  Each subtree enumerates in its engine's sequential
+    order, and the sequential engine consumes subtrees in exactly this
+    order, so the returned list (contents {e and} order) is bit-identical
+    to the [jobs = 1] run of the same engine at every pool size; the
+    determinism tests enforce this. *)
 
 val find_tiling :
   ?torus_factors:int list -> Lattice.Prototile.t -> Single.t option

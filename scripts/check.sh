@@ -1,0 +1,19 @@
+#!/bin/sh
+# Repository health check: what CI runs, runnable locally.
+#   sh scripts/check.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+# Build artifacts must never be committed (.gitignore covers _build/ and
+# out/; this catches force-adds).
+tracked=$(git ls-files -- '_build/*' 'out/*' '*.install')
+if [ -n "$tracked" ]; then
+  echo "error: build artifacts tracked in git:" >&2
+  echo "$tracked" >&2
+  exit 1
+fi
+
+dune build @all
+dune runtest
+
+echo "all checks passed"

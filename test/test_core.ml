@@ -233,16 +233,16 @@ let test_lower_bound_and_clique () =
 
 let test_chromatic_number_small_graphs () =
   let path3 = [| [| false; true; false |]; [| true; false; true |]; [| false; true; false |] |] in
-  Alcotest.(check int) "path P3" 2 (Core.Optimality.chromatic_number ~adj:path3);
+  Alcotest.(check int) "path P3" 2 (Core.Optimality.chromatic_number path3);
   let k4 = Array.init 4 (fun i -> Array.init 4 (fun j -> i <> j)) in
-  Alcotest.(check int) "K4" 4 (Core.Optimality.chromatic_number ~adj:k4);
+  Alcotest.(check int) "K4" 4 (Core.Optimality.chromatic_number k4);
   let c5 =
     Array.init 5 (fun i -> Array.init 5 (fun j -> (j = (i + 1) mod 5) || (i = (j + 1) mod 5)))
   in
-  Alcotest.(check int) "odd cycle C5" 3 (Core.Optimality.chromatic_number ~adj:c5);
+  Alcotest.(check int) "odd cycle C5" 3 (Core.Optimality.chromatic_number c5);
   let empty = Array.make_matrix 6 6 false in
-  Alcotest.(check int) "empty graph" 1 (Core.Optimality.chromatic_number ~adj:empty);
-  Alcotest.(check int) "no vertices" 0 (Core.Optimality.chromatic_number ~adj:[||])
+  Alcotest.(check int) "empty graph" 1 (Core.Optimality.chromatic_number empty);
+  Alcotest.(check int) "no vertices" 0 (Core.Optimality.chromatic_number [||])
 
 let qcheck_coloring_proper =
   let gen =
@@ -263,7 +263,7 @@ let qcheck_coloring_proper =
   in
   let arb = QCheck.make gen in
   QCheck.Test.make ~name:"chromatic number is achieved and tight" ~count:60 arb (fun adj ->
-      let k = Core.Optimality.chromatic_number ~adj in
+      let k = Core.Optimality.chromatic_number adj in
       match Core.Optimality.color_with ~adj k with
       | None -> false
       | Some colors ->
@@ -623,6 +623,47 @@ let qcheck_theorem1_random_polyominoes =
         Core.Schedule.num_slots s = Prototile.size p
         && Core.Collision.is_collision_free_theorem1 t s)
 
+let qcheck_certificate_random_exact_polyominoes =
+  (* Any tiling the search finds for a random polyomino must yield a
+     certificate that (a) passes the independent checker and (b) survives
+     a serialization roundtrip, checker included. *)
+  let gen =
+    QCheck.Gen.(
+      int_range 2 6 >>= fun cells ->
+      int_bound 1_000_000 >|= fun seed ->
+      Randomtile.polyomino (Prng.Xoshiro.create (Int64.of_int seed)) ~cells)
+  in
+  let arb = QCheck.make ~print:Prototile.to_string gen in
+  QCheck.Test.make ~name:"random exact polyominoes certify and roundtrip" ~count:40 arb (fun p ->
+      match Tiling.Search.find_tiling p with
+      | None -> QCheck.assume_fail ()
+      | Some t ->
+        let cert = Core.Certificate.build t in
+        Core.Certificate.check cert = Ok ()
+        &&
+        (match Core.Certificate.of_string (Core.Certificate.to_string cert) with
+        | Error _ -> false
+        | Ok cert' ->
+          Prototile.equal cert.Core.Certificate.prototile cert'.Core.Certificate.prototile
+          && List.length cert.Core.Certificate.clique = List.length cert'.Core.Certificate.clique
+          && Core.Certificate.check cert' = Ok ()))
+
+let qcheck_tile_is_clique_random =
+  (* The Theorem-1 lower-bound argument machine-checked on arbitrary
+     prototiles, connected and sparse alike: a tile is always a clique. *)
+  let gen =
+    QCheck.Gen.(
+      bool >>= fun connected ->
+      int_range 1 8 >>= fun cells ->
+      int_bound 1_000_000 >|= fun seed ->
+      let rng = Prng.Xoshiro.create (Int64.of_int seed) in
+      if connected then Randomtile.polyomino rng ~cells
+      else Randomtile.sparse rng ~cells ~spread:4)
+  in
+  let arb = QCheck.make ~print:Prototile.to_string gen in
+  QCheck.Test.make ~name:"random prototiles are cliques" ~count:200 arb
+    Core.Optimality.tile_is_clique
+
 let () =
   Alcotest.run "core"
     [
@@ -655,6 +696,7 @@ let () =
           Alcotest.test_case "lower bound + clique" `Quick test_lower_bound_and_clique;
           Alcotest.test_case "chromatic small graphs" `Quick test_chromatic_number_small_graphs;
           qc qcheck_coloring_proper;
+          qc qcheck_tile_is_clique_random;
         ] );
       ( "finite",
         [
@@ -669,6 +711,7 @@ let () =
           Alcotest.test_case "valid certificates" `Quick test_certificate_valid;
           Alcotest.test_case "detects corruption" `Quick test_certificate_detects_corruption;
           Alcotest.test_case "roundtrip" `Quick test_certificate_roundtrip;
+          qc qcheck_certificate_random_exact_polyominoes;
         ] );
       ( "differential",
         [ Alcotest.test_case "periodic = naive window" `Slow test_collision_checker_differential ] );

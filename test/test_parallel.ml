@@ -1,0 +1,209 @@
+(* Tests for the domain pool and for the determinism contract of every
+   parallel entry point: at jobs = 1, 2 and 4 the search engines and the
+   simulation sweep must return values structurally identical to the
+   sequential run - not just equal solution sets, the same lists in the
+   same order. *)
+
+open Lattice
+
+(* ---------- pool primitives ---------- *)
+
+let test_map_matches_list_map () =
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      let xs = List.init 100 Fun.id in
+      let f x = (x * x) + 1 in
+      Alcotest.(check (list int)) "map = List.map" (List.map f xs) (Parallel.map pool f xs);
+      Alcotest.(check (list int)) "empty" [] (Parallel.map pool f []))
+
+let test_map_array_indexing () =
+  Parallel.with_pool ~jobs:3 (fun pool ->
+      let xs = Array.init 257 string_of_int in
+      let ys = Parallel.map_array pool (fun s -> s ^ "!") xs in
+      Array.iteri
+        (fun i y -> Alcotest.(check string) "slot i holds f xs.(i)" (xs.(i) ^ "!") y)
+        ys)
+
+let test_filter_concat_map () =
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      let xs = List.init 50 Fun.id in
+      let f x = if x mod 3 = 0 then Some (-x) else None in
+      Alcotest.(check (list int)) "filter_map order kept" (List.filter_map f xs)
+        (Parallel.filter_map pool f xs);
+      let g x = List.init (x mod 4) (fun i -> (10 * x) + i) in
+      Alcotest.(check (list int)) "concat_map order kept" (List.concat_map g xs)
+        (Parallel.concat_map pool g xs))
+
+let test_jobs_one_inline () =
+  Parallel.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "jobs" 1 (Parallel.jobs pool);
+      let witness = ref [] in
+      Parallel.parallel_for pool ~n:5 (fun i -> witness := i :: !witness);
+      (* jobs = 1 runs inline on this domain, so the order is the loop's. *)
+      Alcotest.(check (list int)) "inline order" [ 4; 3; 2; 1; 0 ] !witness)
+
+exception Boom of int
+
+let test_exception_propagates_pool_survives () =
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      (match Parallel.map pool (fun x -> if x = 13 then raise (Boom x) else x) (List.init 20 Fun.id) with
+      | _ -> Alcotest.fail "expected Boom to propagate"
+      | exception Boom 13 -> ());
+      (* The batch drained; the pool must still work. *)
+      Alcotest.(check (list int)) "pool usable after exception" [ 0; 2; 4 ]
+        (Parallel.map pool (fun x -> 2 * x) [ 0; 1; 2 ]))
+
+let test_reentrant_nesting () =
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      (* An inner batch on the same pool must fall back to inline
+         execution instead of deadlocking on the busy workers. *)
+      let got =
+        Parallel.map pool
+          (fun x -> List.fold_left ( + ) 0 (Parallel.map pool (fun y -> x * y) [ 1; 2; 3 ]))
+          [ 1; 2; 3; 4 ]
+      in
+      Alcotest.(check (list int)) "nested map" [ 6; 12; 18; 24 ] got)
+
+let test_shutdown_idempotent_then_inline () =
+  let pool = Parallel.create ~jobs:3 in
+  Alcotest.(check (list int)) "before shutdown" [ 1; 2; 3 ]
+    (Parallel.map pool (fun x -> x + 1) [ 0; 1; 2 ]);
+  Parallel.shutdown pool;
+  Parallel.shutdown pool;
+  Alcotest.(check (list int)) "after shutdown runs inline" [ 1; 2; 3 ]
+    (Parallel.map pool (fun x -> x + 1) [ 0; 1; 2 ])
+
+let test_set_default_jobs () =
+  Parallel.set_default_jobs 2;
+  Alcotest.(check int) "resized" 2 (Parallel.jobs (Parallel.default ()));
+  Parallel.set_default_jobs 1;
+  Alcotest.(check int) "back to sequential" 1 (Parallel.jobs (Parallel.default ()))
+
+(* ---------- determinism: searches and sweeps ---------- *)
+
+(* Run [f] at jobs = 1, 2, 4 and require structural identity with the
+   sequential result. *)
+let check_jobs_invariant name f =
+  let reference = Parallel.with_pool ~jobs:1 f in
+  List.iter
+    (fun jobs ->
+      let v = Parallel.with_pool ~jobs f in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s identical at jobs=%d" name jobs)
+        true (v = reference))
+    [ 2; 4 ]
+
+let test_lattice_tilings_deterministic () =
+  List.iter
+    (fun (name, p) ->
+      check_jobs_invariant
+        ("lattice_tilings " ^ name)
+        (fun pool -> Tiling.Search.lattice_tilings ~pool p))
+    [ ("cheb1", Prototile.chebyshev_ball ~dim:2 1); ("cheb2", Prototile.chebyshev_ball ~dim:2 2);
+      ("manhattan2", Prototile.manhattan_ball ~dim:2 2); ("tet-S", Prototile.tetromino `S) ]
+
+let sz_period = lazy (Sublattice.of_basis [| [| 4; 0 |]; [| 0; 4 |] |])
+
+let test_cover_torus_deterministic () =
+  let period = Lazy.force sz_period in
+  let prototiles = [ Prototile.tetromino `S; Prototile.tetromino `Z ] in
+  List.iter
+    (fun engine ->
+      let ename = match engine with `Backtracking -> "bt" | `Dlx -> "dlx" in
+      (* Both the truncated list (budget bites mid-merge) and the full
+         enumeration must be reproduced. *)
+      List.iter
+        (fun max_solutions ->
+          check_jobs_invariant
+            (Printf.sprintf "cover_torus %s max=%d" ename max_solutions)
+            (fun pool ->
+              Tiling.Search.cover_torus ~period ~prototiles ~max_solutions ~engine ~pool ()))
+        [ 7; 50; 1000 ])
+    [ `Backtracking; `Dlx ]
+
+let test_cover_torus_multi_prototile_deterministic () =
+  (* A heterogeneous instance: 2x2 squares plus single-cell fillers on a
+     non-square quotient, where root placements use different tiles. *)
+  let period = Sublattice.of_basis [| [| 5; 0 |]; [| 0; 2 |] |] in
+  let prototiles = [ Prototile.rect 2 2; Prototile.of_cells [ Zgeom.Vec.zero 2 ] ] in
+  List.iter
+    (fun engine ->
+      check_jobs_invariant "cover_torus squares+singles" (fun pool ->
+          Tiling.Search.cover_torus ~period ~prototiles ~max_solutions:200 ~engine ~pool ()))
+    [ `Backtracking; `Dlx ]
+
+let test_chromatic_number_deterministic () =
+  (* Random graphs of varying density; the parallel k-colorability
+     decision must agree with the sequential branch and bound. *)
+  let rng = Prng.Xoshiro.create 2026L in
+  for n = 4 to 12 do
+    let adj = Array.make_matrix n n false in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if Prng.Xoshiro.bernoulli rng 0.4 then begin
+          adj.(i).(j) <- true;
+          adj.(j).(i) <- true
+        end
+      done
+    done;
+    check_jobs_invariant
+      (Printf.sprintf "chromatic_number n=%d" n)
+      (fun pool -> Core.Optimality.chromatic_number ~pool adj)
+  done
+
+let test_ground_rule_minimum_deterministic () =
+  let period = Lazy.force sz_period in
+  let prototiles = [ Prototile.tetromino `S; Prototile.tetromino `Z ] in
+  let sols = Tiling.Search.cover_torus ~period ~prototiles ~max_solutions:3 () in
+  List.iter
+    (fun m ->
+      check_jobs_invariant "ground_rule_minimum" (fun pool ->
+          Core.Optimality.ground_rule_minimum ~pool m))
+    sols
+
+let test_run_sweep_deterministic () =
+  let prototile = Prototile.chebyshev_ball ~dim:2 1 in
+  let tiling = Option.get (Tiling.Search.find_tiling prototile) in
+  let mac = Netsim.Mac.lattice_tdma (Core.Schedule.of_tiling tiling) in
+  let cfg =
+    { (Netsim.Sim.default_config ~mac) with width = 8; height = 8; prototile; duration = 500 }
+  in
+  let seeds = List.init 5 (fun i -> Int64.of_int (100 + i)) in
+  (* The sweep must equal mapping the sequential runner over the seeds... *)
+  let reference = List.map (fun seed -> Netsim.Sim.run { cfg with seed }) seeds in
+  Alcotest.(check bool) "sweep = sequential map" true
+    (Parallel.with_pool ~jobs:1 (fun pool -> Netsim.Sim.run_sweep ~pool cfg ~seeds) = reference);
+  (* ...at every pool size. *)
+  check_jobs_invariant "run_sweep" (fun pool -> Netsim.Sim.run_sweep ~pool cfg ~seeds);
+  (* And a contention MAC, whose per-node state is driven by the per-run
+     RNG streams - the harder case for cross-run isolation. *)
+  let aloha_cfg =
+    { (Netsim.Sim.default_config ~mac:(Netsim.Mac.slotted_aloha ~p:0.2 ~max_backoff_exp:5)) with
+      width = 8; height = 8; prototile; duration = 500 }
+  in
+  check_jobs_invariant "run_sweep aloha" (fun pool ->
+      Netsim.Sim.run_sweep ~pool aloha_cfg ~seeds)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map = List.map" `Quick test_map_matches_list_map;
+          Alcotest.test_case "map_array indexing" `Quick test_map_array_indexing;
+          Alcotest.test_case "filter/concat map" `Quick test_filter_concat_map;
+          Alcotest.test_case "jobs=1 inline" `Quick test_jobs_one_inline;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates_pool_survives;
+          Alcotest.test_case "re-entrant nesting" `Quick test_reentrant_nesting;
+          Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent_then_inline;
+          Alcotest.test_case "default pool resize" `Quick test_set_default_jobs;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "lattice tilings" `Quick test_lattice_tilings_deterministic;
+          Alcotest.test_case "cover_torus S/Z" `Quick test_cover_torus_deterministic;
+          Alcotest.test_case "cover_torus multi" `Quick test_cover_torus_multi_prototile_deterministic;
+          Alcotest.test_case "chromatic number" `Quick test_chromatic_number_deterministic;
+          Alcotest.test_case "ground-rule minimum" `Quick test_ground_rule_minimum_deterministic;
+          Alcotest.test_case "netsim sweep" `Quick test_run_sweep_deterministic;
+        ] );
+    ]
