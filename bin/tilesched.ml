@@ -396,10 +396,144 @@ let sync_cmd =
         (const run $ jobs_term $ tile_arg $ width_arg $ height_arg $ resync_arg $ drift_arg
        $ duration_arg))
 
+(* ---------- serve / loadgen ---------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "s"; "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path. serve: listen here instead of stdio; loadgen: drive \
+              the daemon at PATH instead of an in-process engine.")
+
+let serve_cmd =
+  let cache =
+    Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N" ~doc:"Tiling cache capacity (LRU).")
+  in
+  let queue =
+    Arg.(
+      value & opt int 512
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Admission bound per batch; excess requests get an explicit overloaded reply.")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 0.0
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:"Per-search wall-clock budget (0 = unbounded). Expired searches answer \
+                deadline, are not cached, and may succeed on retry.")
+  in
+  let run () socket cache queue deadline =
+    if cache < 1 then Error (`Msg "--cache must be at least 1")
+    else if queue < 1 then Error (`Msg "--queue must be at least 1")
+    else begin
+      let deadline = if deadline > 0.0 then Some deadline else None in
+      let engine = Server.create ~cache_capacity:cache ~queue_bound:queue ?deadline () in
+      (match socket with
+      | None -> Server.Frontend.serve_stdio engine
+      | Some path ->
+        Printf.eprintf "tilesched serve: listening on %s\n%!" path;
+        Server.Frontend.serve_unix engine ~path);
+      Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the schedule server: one request line in, one reply line out (see README for \
+          the wire protocol). Congruent tiles share one cached search result.")
+    Term.(term_result (const run $ jobs_term $ socket_arg $ cache $ queue $ deadline))
+
+let loadgen_cmd =
+  let requests =
+    Arg.(value & opt int 10_000 & info [ "n"; "requests" ] ~docv:"N" ~doc:"Completions to drive.")
+  in
+  let clients =
+    Arg.(value & opt int 8 & info [ "c"; "clients" ] ~docv:"N" ~doc:"Closed-loop clients.")
+  in
+  let zipf =
+    Arg.(
+      value & opt float 1.1
+      & info [ "zipf" ] ~docv:"S" ~doc:"Tile popularity skew exponent (0 = uniform).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Workload RNG seed.") in
+  let tiles =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tiles" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated named tiles, most popular first (e.g. cheb1,tet-S,tet-Z). \
+             Default: a 16-tile catalogue with congruent pairs.")
+  in
+  let shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Finish by asking the server to shut down (socket mode).")
+  in
+  let cache =
+    Arg.(
+      value & opt int 256
+      & info [ "cache" ] ~docv:"N" ~doc:"In-process mode: engine cache capacity.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 512 & info [ "queue" ] ~docv:"N" ~doc:"In-process mode: admission bound.")
+  in
+  let run () socket requests clients zipf seed tiles shutdown cache queue =
+    let ( let* ) = Result.bind in
+    let* tiles =
+      match tiles with
+      | None -> Ok Server.Loadgen.default_tiles
+      | Some names ->
+        List.fold_right
+          (fun name acc ->
+            let* acc = acc in
+            let* tile = parse_tile name in
+            Ok ((name, tile) :: acc))
+          (String.split_on_char ',' names) (Ok [])
+    in
+    let config =
+      { Server.Loadgen.requests; clients; zipf; seed = Int64.of_int seed; tiles;
+        send_shutdown = shutdown }
+    in
+    let* report =
+      match socket with
+      | None ->
+        if shutdown then Error (`Msg "--shutdown needs --socket")
+        else begin
+          let engine = Server.create ~cache_capacity:cache ~queue_bound:queue () in
+          Ok (Server.Loadgen.run engine config)
+        end
+      | Some path -> (
+        match
+          Server.Frontend.with_connection ~path (fun send ->
+              Server.Loadgen.run_with ~send config)
+        with
+        | report -> Ok report
+        | exception Unix.Unix_error (err, _, _) ->
+          Error (`Msg (Printf.sprintf "cannot drive %s: %s" path (Unix.error_message err))))
+    in
+    (* Deterministic summary on stdout (diffable across -j and runs);
+       wall-clock timing on stderr. *)
+    Format.printf "%a@." Server.Loadgen.pp_report report;
+    Format.eprintf "%a@." Server.Loadgen.pp_timing report;
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive the schedule server with a Zipf-skewed closed-loop workload and report \
+          throughput, latency percentiles, cache hit rate, and backpressure behavior.")
+    Term.(
+      term_result
+        (const run $ jobs_term $ socket_arg $ requests $ clients $ zipf $ seed $ tiles
+       $ shutdown $ cache $ queue))
+
 let () =
   let doc = "Collision-free sensor scheduling by lattice tilings (Klappenecker-Lee-Welch 2008)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "tilesched" ~version:"1.0.0" ~doc)
           [ figure_cmd; exact_cmd; schedule_cmd; color_cmd; simulate_cmd; export_cmd; sync_cmd;
-            certify_cmd ]))
+            certify_cmd; serve_cmd; loadgen_cmd ]))

@@ -96,12 +96,15 @@ let of_string s =
         match List.map int_of_string (String.split_on_char ',' coords) with
         | shift_coords ->
           let shift = Vec.of_list shift_coords in
-          Ok
-            {
-              prototile;
-              schedule;
-              clique = List.map (fun v -> Vec.add v shift) (Prototile.cells clique_proto);
-            }
+          if Vec.dim shift <> Prototile.dim clique_proto then
+            Error "clique shift dimension mismatch"
+          else
+            Ok
+              {
+                prototile;
+                schedule;
+                clique = List.map (fun v -> Vec.add v shift) (Prototile.cells clique_proto);
+              }
         | exception Failure _ -> Error "bad shift")
       | _ -> Error "malformed shift field"))
   | _ -> Error "certificate must have three lines"

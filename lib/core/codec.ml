@@ -24,10 +24,10 @@ let vecs_of_string s =
 
 (* A record line is "tilesched/v1;kind=K;key=value;..."; values may
    contain ';'-separated vectors, so fields are delimited by '|'. *)
-let encode kind fields =
+let encode_record ~kind fields =
   String.concat "|" ((magic ^ ";kind=" ^ kind) :: List.map (fun (k, v) -> k ^ "=" ^ v) fields)
 
-let decode expected_kind s =
+let decode_record ~kind:expected_kind s =
   match String.split_on_char '|' s with
   | header :: fields when header = magic ^ ";kind=" ^ expected_kind ->
     let parse field =
@@ -52,10 +52,10 @@ let field kvs k =
 
 let ( let* ) = Result.bind
 
-let prototile_to_string p = encode "prototile" [ ("cells", vecs_to_string (Prototile.cells p)) ]
+let prototile_to_string p = encode_record ~kind:"prototile" [ ("cells", vecs_to_string (Prototile.cells p)) ]
 
 let prototile_of_string s =
-  let* kvs = decode "prototile" s in
+  let* kvs = decode_record ~kind:"prototile" s in
   let* cells_s = field kvs "cells" in
   let* cells = vecs_of_string cells_s in
   match Prototile.of_cells cells with
@@ -75,13 +75,13 @@ let schedule_to_string sched =
   let table =
     List.map (fun c -> string_of_int (Schedule.slot_at sched c)) (Sublattice.cosets period)
   in
-  encode "schedule"
+  encode_record ~kind:"schedule"
     [ ("dim", string_of_int (Sublattice.dim period));
       ("m", string_of_int (Schedule.num_slots sched)); ("basis", basis_to_string period);
       ("table", String.concat "," table) ]
 
 let schedule_of_string s =
-  let* kvs = decode "schedule" s in
+  let* kvs = decode_record ~kind:"schedule" s in
   let* m_s = field kvs "m" in
   let* basis_s = field kvs "basis" in
   let* table_s = field kvs "table" in
@@ -109,13 +109,13 @@ let schedule_of_string s =
   | exception Failure _ -> Error "malformed integer"
 
 let tiling_to_string t =
-  encode "tiling"
+  encode_record ~kind:"tiling"
     [ ("prototile", vecs_to_string (Prototile.cells (Tiling.Single.prototile t)));
       ("basis", basis_to_string (Tiling.Single.period t));
       ("offsets", vecs_to_string (Tiling.Single.offsets t)) ]
 
 let tiling_of_string s =
-  let* kvs = decode "tiling" s in
+  let* kvs = decode_record ~kind:"tiling" s in
   let* cells_s = field kvs "prototile" in
   let* basis_s = field kvs "basis" in
   let* offsets_s = field kvs "offsets" in

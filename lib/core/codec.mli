@@ -14,6 +14,28 @@
     configuration files; [csv_assignment] exports a per-sensor slot
     table for external tooling. *)
 
+(** {2 Record-layer helpers}
+
+    One record is one line: a [tilesched/v1;kind=K] header then
+    ['|']-separated [key=value] fields; values may contain [';']- and
+    [',']-separated vectors but never ['|'] or newlines.  The scheduler
+    server's wire protocol ({!Server.Protocol}) builds its request and
+    response lines from these same helpers, so every on-disk and
+    on-the-wire artifact shares one grammar. *)
+
+val encode_record : kind:string -> (string * string) list -> string
+val decode_record : kind:string -> string -> ((string * string) list, string) result
+
+val field : (string * string) list -> string -> (string, string) result
+(** First binding of the key, or [Error] naming the missing field. *)
+
+val vec_to_string : Zgeom.Vec.t -> string
+val vec_of_string : string -> (Zgeom.Vec.t, string) result
+val vecs_to_string : Zgeom.Vec.t list -> string
+val vecs_of_string : string -> (Zgeom.Vec.t list, string) result
+
+(** {2 Artifact codecs} *)
+
 val prototile_to_string : Lattice.Prototile.t -> string
 val prototile_of_string : string -> (Lattice.Prototile.t, string) result
 

@@ -2,10 +2,21 @@ open Zgeom
 
 type element = { rotation : int; reflected : bool }
 
+let identity = { rotation = 0; reflected = false }
+
+let elements =
+  List.concat_map
+    (fun reflected -> List.init 4 (fun rotation -> { rotation; reflected }))
+    [ false; true ]
+
 let apply e v =
   let v = if e.reflected then Vec.reflect_x v else v in
   let rec rot k v = if k = 0 then v else rot (k - 1) (Vec.rot90 v) in
   rot (e.rotation mod 4) v
+
+(* R^r . F is an involution (F R F = R^-1); pure rotations invert to the
+   complementary quarter turn. *)
+let inverse e = if e.reflected then e else { e with rotation = (4 - e.rotation) mod 4 }
 
 (* Translation-normalized cell set: anchor at the lexicographic minimum. *)
 let normalized cells =
@@ -18,9 +29,7 @@ let group p =
   List.filter
     (fun e ->
       Vec.Set.equal reference (normalized (Vec.Set.map (apply e) (Prototile.cell_set p))))
-    (List.concat_map
-       (fun reflected -> List.init 4 (fun rotation -> { rotation; reflected }))
-       [ false; true ])
+    elements
 
 let order p = List.length (group p)
 
@@ -30,3 +39,22 @@ let rotations_in_group p =
 let distinct_orientations p = 4 / rotations_in_group p
 
 let is_symmetric_under_rotation p = rotations_in_group p > 1
+
+(* Canonical congruence-class representative: among the translation-
+   normalized images of the cell set under the point group, take the one
+   with the lexicographically least sorted cell list.  Ties are harmless
+   (tied images are the same cell set). *)
+let canonicalize p =
+  let candidates =
+    if Prototile.dim p = 2 then
+      List.map (fun e -> (normalized (Vec.Set.map (apply e) (Prototile.cell_set p)), e)) elements
+    else [ (normalized (Prototile.cell_set p), identity) ]
+  in
+  let key (s, _) = List.map Vec.to_list (Vec.Set.elements s) in
+  let best =
+    List.fold_left (fun acc c -> if compare (key c) (key acc) < 0 then c else acc)
+      (List.hd candidates) (List.tl candidates)
+  in
+  (Prototile.of_cells (Vec.Set.elements (fst best)), snd best)
+
+let canonical p = fst (canonicalize p)

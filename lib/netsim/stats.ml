@@ -56,7 +56,9 @@ type snapshot = {
   delivery_ratio : float;
   collision_rate : float;
   mean_latency : float;
+  p50_latency : float;
   p95_latency : float;
+  p99_latency : float;
   max_latency : int;
   energy : float;
   energy_per_delivery : float;
@@ -83,7 +85,9 @@ let snapshot t =
     collision_rate =
       (if t.attempts = 0 then 0.0 else float_of_int t.collisions /. float_of_int t.attempts);
     mean_latency = mean;
+    p50_latency = percentile 0.50;
     p95_latency = percentile 0.95;
+    p99_latency = percentile 0.99;
     max_latency = (if n = 0 then 0 else lat.(n - 1));
     energy = t.energy;
     energy_per_delivery =
@@ -93,6 +97,6 @@ let snapshot t =
 let pp_snapshot fmt s =
   Format.fprintf fmt
     "arrivals=%d attempts=%d delivered=%d collisions=%d delivery=%.3f coll_rate=%.3f \
-     lat_mean=%.1f lat_p95=%.1f energy/del=%.2f"
+     lat_mean=%.1f lat_p50=%.1f lat_p95=%.1f lat_p99=%.1f energy/del=%.2f"
     s.arrivals s.attempts s.delivered s.collisions s.delivery_ratio s.collision_rate
-    s.mean_latency s.p95_latency s.energy_per_delivery
+    s.mean_latency s.p50_latency s.p95_latency s.p99_latency s.energy_per_delivery

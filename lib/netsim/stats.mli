@@ -36,7 +36,9 @@ type snapshot = {
   delivery_ratio : float;  (** delivered / arrivals (1.0 when no arrivals) *)
   collision_rate : float;  (** collided attempts / attempts *)
   mean_latency : float;  (** slots from arrival to successful broadcast *)
-  p95_latency : float;
+  p50_latency : float;  (** exact quantiles over all recorded latencies; *)
+  p95_latency : float;  (** the load generator reuses them with *)
+  p99_latency : float;  (** microseconds in place of slots. *)
   max_latency : int;
   energy : float;
   energy_per_delivery : float;

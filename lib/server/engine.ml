@@ -1,0 +1,242 @@
+open Zgeom
+open Lattice
+
+(* What the cache remembers per canonical tile: either a tiling (with the
+   schedule and certificate it induces, all for the canonical
+   orientation) or a proof of exhaustion. *)
+type entry =
+  | Found of {
+      tiling : Tiling.Single.t;
+      schedule : Core.Schedule.t;
+      certificate : Core.Certificate.t;
+    }
+  | Absent
+
+type t = {
+  cache : entry Cache.t;
+  queue_bound : int;
+  deadline : float option;
+  torus_factors : int list;
+  pool : Parallel.pool;
+  mutable served : int;
+  mutable overloaded : int;
+  mutable errors : int;
+  mutable searches : int;
+  mutable coalesced : int;
+  mutable timeouts : int;
+}
+
+let create ?(cache_capacity = 256) ?(queue_bound = 512) ?deadline
+    ?(torus_factors = [ 1; 2; 3; 4 ]) ?pool () =
+  if queue_bound < 1 then invalid_arg "Engine.create: queue_bound must be >= 1";
+  let pool = match pool with Some p -> p | None -> Parallel.default () in
+  { cache = Cache.create ~capacity:cache_capacity; queue_bound; deadline; torus_factors;
+    pool; served = 0; overloaded = 0; errors = 0; searches = 0; coalesced = 0; timeouts = 0 }
+
+let queue_bound t = t.queue_bound
+
+let canonical_key tile =
+  Core.Codec.vecs_to_string (Prototile.cells (Symmetry.canonical tile))
+
+let stats t : Protocol.server_stats =
+  let cache_hits, cache_misses, cache_evictions = Cache.counters t.cache in
+  { served = t.served; overloaded = t.overloaded; errors = t.errors; searches = t.searches;
+    coalesced = t.coalesced; timeouts = t.timeouts; cache_hits; cache_misses;
+    cache_evictions; cache_entries = Cache.length t.cache }
+
+(* Deadline-aware mirror of [Tiling.Search.find_tiling]: the same stages
+   in the same order, with the wall clock checked between stages (a
+   single stage can overshoot; the bound is per-stage granular).  Returns
+   [None] on timeout, [Some entry] otherwise. *)
+exception Expired
+
+let search t tile =
+  let deadline = Option.map (fun d -> Unix.gettimeofday () +. d) t.deadline in
+  let check () =
+    match deadline with
+    | Some d when Unix.gettimeofday () >= d -> raise Expired
+    | _ -> ()
+  in
+  let entry_of tiling =
+    let schedule = Core.Schedule.of_tiling tiling in
+    let certificate = Core.Certificate.build tiling in
+    Found { tiling; schedule; certificate }
+  in
+  match
+    check ();
+    match Tiling.Search.find_lattice_tiling tile with
+    | Some tiling -> entry_of tiling
+    | None ->
+      let d = Prototile.dim tile in
+      let m = Prototile.size tile in
+      let found = ref None in
+      List.iter
+        (fun f ->
+          if !found = None then
+            List.iter
+              (fun lam ->
+                if !found = None then begin
+                  check ();
+                  Tiling.Search.cover_torus ~period:lam ~prototiles:[ tile ]
+                    ~max_solutions:1 ()
+                  |> List.iter (fun mt ->
+                         if !found = None then
+                           match Tiling.Multi.pieces mt with
+                           | [ pc ] -> (
+                             match
+                               Tiling.Single.make ~prototile:tile ~period:lam
+                                 ~offsets:pc.Tiling.Multi.piece_offsets
+                             with
+                             | Ok tl -> found := Some tl
+                             | Error _ -> ())
+                           | _ -> ())
+                end)
+              (Sublattice.all_of_index ~dim:d (f * m)))
+        t.torus_factors;
+      (match !found with Some tiling -> entry_of tiling | None -> Absent)
+  with
+  | entry -> Some entry
+  | exception Expired -> None
+
+(* Transport a cached canonical tiling back to the client's orientation.
+   If [canonicalize tile] returned witness [g], the canonical cells are
+   [g(cells tile) - a] with [a] the lex-min of [g(cells tile)]; a tiling
+   [offsets + Lambda] of the canonical tile therefore maps to
+   [g^-1(offsets - a) + g^-1(Lambda)] for [tile] itself.  [Single.make]
+   revalidates the transported tiling from scratch. *)
+let transport ~tile ~g canon_tiling =
+  let a =
+    Vec.Set.min_elt (Vec.Set.map (Symmetry.apply g) (Prototile.cell_set tile))
+  in
+  let gi = Symmetry.inverse g in
+  let period =
+    Sublattice.of_rows
+      (List.map (Symmetry.apply gi)
+         (Sublattice.generators (Tiling.Single.period canon_tiling)))
+  in
+  let offsets =
+    List.map
+      (fun o -> Symmetry.apply gi (Vec.sub o a))
+      (Tiling.Single.offsets canon_tiling)
+  in
+  Tiling.Single.make ~prototile:tile ~period ~offsets
+
+(* Per-request resolution computed in the admission pass. *)
+type resolution =
+  | Refused
+  | Control  (* Stats / Shutdown: answered in the final pass *)
+  | Immediate of Protocol.response
+  | Tile of {
+      tile : Prototile.t;
+      canon : Prototile.t;
+      g : Symmetry.element;
+      key : string;
+    }
+
+let answer t (req : Protocol.request) ~tile ~g entry : Protocol.response =
+  match entry with
+  | Absent -> No_tiling
+  | Found { tiling; schedule; certificate } -> (
+    let oriented =
+      if Prototile.equal tile (Tiling.Single.prototile tiling) then
+        Ok (tiling, lazy schedule, lazy certificate)
+      else
+        match transport ~tile ~g tiling with
+        | Ok tl ->
+          Ok
+            ( tl,
+              lazy (Core.Schedule.of_tiling tl),
+              lazy (Core.Certificate.build tl) )
+        | Error msg -> Error ("internal: transported tiling invalid: " ^ msg)
+    in
+    match oriented with
+    | Error msg ->
+      t.errors <- t.errors + 1;
+      Error_r msg
+    | Ok (tl, sched, cert) -> (
+      match req with
+      | Slot { pos; _ } ->
+        if Vec.dim pos <> Prototile.dim tile then begin
+          t.errors <- t.errors + 1;
+          Error_r "pos dimension does not match tile"
+        end
+        else
+          let sched = Lazy.force sched in
+          Slot_r
+            { slot = Core.Schedule.slot_at sched pos;
+              num_slots = Core.Schedule.num_slots sched }
+      | Schedule _ -> Schedule_r (Lazy.force sched)
+      | Tile_search _ -> Tiling_r { tiling = tl; certificate = Lazy.force cert }
+      | Stats | Shutdown -> assert false))
+
+let handle_batch t reqs =
+  (* Pass 1: admission control, canonicalization, cache lookup. *)
+  let resolutions =
+    List.mapi
+      (fun i (req : Protocol.request) ->
+        if i >= t.queue_bound then Refused
+        else
+          match req with
+          | Stats | Shutdown -> Control
+          | Slot { tile; _ } | Schedule tile | Tile_search tile ->
+            let canon, g = Symmetry.canonicalize tile in
+            let key = Core.Codec.vecs_to_string (Prototile.cells canon) in
+            (match Cache.find t.cache key with
+            | Some entry -> Immediate (answer t req ~tile ~g entry)
+            | None -> Tile { tile; canon; g; key }))
+      reqs
+  in
+  (* Pass 2: coalesce misses by canonical key (first-occurrence order)
+     and search the distinct keys concurrently.  Timeouts are not
+     cached. *)
+  let missing = ref [] in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Tile { key; canon; _ } ->
+        if Hashtbl.mem seen key then t.coalesced <- t.coalesced + 1
+        else begin
+          Hashtbl.add seen key ();
+          (* Search the canonical orientation so the cached entry is
+             canonical regardless of which orientation missed first. *)
+          missing := (key, canon) :: !missing
+        end
+      | _ -> ())
+    resolutions;
+  let missing = List.rev !missing in
+  t.searches <- t.searches + List.length missing;
+  let results =
+    Parallel.map t.pool (fun (key, canon) -> (key, search t canon)) missing
+  in
+  let by_key = Hashtbl.create 16 in
+  List.iter
+    (fun (key, result) ->
+      (match result with
+      | Some entry -> Cache.add t.cache key entry
+      | None -> t.timeouts <- t.timeouts + 1);
+      Hashtbl.replace by_key key result)
+    results;
+  (* Pass 3: answers in request order. *)
+  List.map2
+    (fun (req : Protocol.request) resolution ->
+      let resp : Protocol.response =
+        match resolution with
+        | Refused ->
+          t.overloaded <- t.overloaded + 1;
+          Overloaded
+        | Control -> (
+          match req with
+          | Stats -> Stats_r (stats t)
+          | Shutdown -> Shutting_down
+          | _ -> assert false)
+        | Immediate r -> r
+        | Tile { tile; g; key; _ } -> (
+          match Hashtbl.find by_key key with
+          | None -> Deadline_exceeded
+          | Some entry -> answer t req ~tile ~g entry)
+      in
+      (match resp with Overloaded -> () | _ -> t.served <- t.served + 1);
+      resp)
+    reqs resolutions
+
+let handle t req = match handle_batch t [ req ] with [ r ] -> r | _ -> assert false

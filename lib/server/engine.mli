@@ -1,0 +1,56 @@
+(** The schedule server's request engine.
+
+    A long-lived service answering slot/schedule/tiling queries for
+    arbitrary prototiles.  The expensive step - the tiling search behind
+    Theorem 1 - is amortized three ways:
+
+    - {b Canonicalizing cache.}  Results are cached under the tile's
+      canonical form ({!Lattice.Symmetry.canonical}), so all congruent
+      tiles (rotations, reflections, translations) share one LRU entry;
+      a hit for a non-canonical orientation is answered by transporting
+      the cached tiling through the symmetry witness and revalidating.
+    - {b Coalescing.}  Within a batch, concurrent misses for the same
+      canonical key trigger exactly one search; distinct missing keys
+      are searched concurrently on the {!Parallel} pool, in first-
+      occurrence order, so results are deterministic at every pool size.
+    - {b Backpressure.}  A batch longer than [queue_bound] is cut: the
+      excess requests receive an explicit [Overloaded] reply instead of
+      queueing without bound; clients retry.
+
+    Searches can be bounded by a wall-clock [deadline] checked between
+    search stages; an expired search answers [Deadline_exceeded] and is
+    {e not} cached (a later retry may succeed), while a completed search
+    that proves no tiling exists caches [No_tiling]. *)
+
+open Lattice
+
+type t
+
+val create :
+  ?cache_capacity:int ->
+  (* default 256 *)
+  ?queue_bound:int ->
+  (* default 512 *)
+  ?deadline:float ->
+  (* seconds per search; default unbounded *)
+  ?torus_factors:int list ->
+  (* as {!Tiling.Search.find_tiling} *)
+  ?pool:Parallel.pool ->
+  (* default {!Parallel.default} *)
+  unit ->
+  t
+
+val handle : t -> Protocol.request -> Protocol.response
+(** A batch of one; never [Overloaded] (since [queue_bound >= 1]). *)
+
+val handle_batch : t -> Protocol.request list -> Protocol.response list
+(** Responses in request order.  Requests beyond [queue_bound] get
+    [Overloaded]; admitted tile requests are canonicalized, looked up,
+    coalesced and searched as described above. *)
+
+val stats : t -> Protocol.server_stats
+val queue_bound : t -> int
+
+val canonical_key : Prototile.t -> string
+(** The cache key: the canonical form's cell list, encoded.  Exposed for
+    tests and diagnostics. *)

@@ -1,0 +1,149 @@
+let max_line = 1024 * 1024
+
+let is_shutdown_resp = function Protocol.Shutting_down -> true | _ -> false
+
+let handle_lines engine lines =
+  let parsed = List.map Protocol.request_of_string lines in
+  let reqs =
+    List.filter_map (function Ok (_, req) -> Some req | Error _ -> None) parsed
+  in
+  let resps = Engine.handle_batch engine reqs in
+  let shutdown = List.exists is_shutdown_resp resps in
+  let rec merge parsed resps =
+    match (parsed, resps) with
+    | [], [] -> []
+    | Error msg :: tl, resps ->
+      Protocol.response_to_string (Error_r msg) :: merge tl resps
+    | Ok (id, _) :: tl, resp :: resps ->
+      Protocol.response_to_string ?id resp :: merge tl resps
+    | Ok _ :: _, [] | [], _ :: _ -> assert false
+  in
+  (merge parsed resps, shutdown)
+
+let serve_stdio engine =
+  let bound = Engine.queue_bound engine in
+  let stop = ref false in
+  let batch = ref [] in
+  let flush_batch () =
+    if !batch <> [] then begin
+      let lines, shutdown = handle_lines engine (List.rev !batch) in
+      batch := [];
+      List.iter print_endline lines;
+      flush stdout;
+      if shutdown then stop := true
+    end
+  in
+  (try
+     while not !stop do
+       match input_line stdin with
+       | "" -> flush_batch ()
+       | line ->
+         batch := line :: !batch;
+         if List.length !batch >= bound then flush_batch ()
+     done
+   with End_of_file -> ());
+  flush_batch ()
+
+(* ---------- Unix-domain socket daemon ---------- *)
+
+type conn = { fd : Unix.file_descr; buf : Buffer.t; mutable closing : bool }
+
+(* Split off the complete lines accumulated in [c.buf], leaving any
+   partial trailing line buffered. *)
+let complete_lines c =
+  let data = Buffer.contents c.buf in
+  match String.rindex_opt data '\n' with
+  | None ->
+    if Buffer.length c.buf > max_line then c.closing <- true;
+    []
+  | Some last ->
+    Buffer.clear c.buf;
+    Buffer.add_string c.buf (String.sub data (last + 1) (String.length data - last - 1));
+    String.split_on_char '\n' (String.sub data 0 last)
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
+  try go 0 with Unix.Unix_error _ -> ()
+
+let serve_unix engine ~path =
+  if Sys.file_exists path then Sys.remove path;
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX path);
+  Unix.listen srv 64;
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let chunk = Bytes.create 65536 in
+  let running = ref true in
+  let close_conn c =
+    Hashtbl.remove conns c.fd;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  in
+  while !running do
+    let fds = srv :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+    let readable, _, _ =
+      try Unix.select fds [] [] 1.0 with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    (* Accept and read; collect each connection's complete lines. *)
+    let batch = ref [] (* (conn, line) in arrival order, reversed *) in
+    List.iter
+      (fun fd ->
+        if fd = srv then begin
+          match Unix.accept srv with
+          | client, _ ->
+            Hashtbl.replace conns client
+              { fd = client; buf = Buffer.create 256; closing = false }
+          | exception Unix.Unix_error _ -> ()
+        end
+        else
+          match Hashtbl.find_opt conns fd with
+          | None -> ()
+          | Some c -> (
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> close_conn c
+            | n ->
+              Buffer.add_subbytes c.buf chunk 0 n;
+              List.iter (fun line -> batch := (c, line) :: !batch) (complete_lines c);
+              if c.closing then close_conn c
+            | exception Unix.Unix_error _ -> close_conn c))
+      readable;
+    let batch = List.rev !batch in
+    if batch <> [] then begin
+      let lines, shutdown = handle_lines engine (List.map snd batch) in
+      (* Group replies per connection, preserving order, one write each. *)
+      let outs : (Unix.file_descr, Buffer.t) Hashtbl.t = Hashtbl.create 8 in
+      List.iter2
+        (fun (c, _) reply ->
+          let out =
+            match Hashtbl.find_opt outs c.fd with
+            | Some b -> b
+            | None ->
+              let b = Buffer.create 256 in
+              Hashtbl.replace outs c.fd b;
+              b
+          in
+          Buffer.add_string out reply;
+          Buffer.add_char out '\n')
+        batch lines;
+      Hashtbl.iter (fun fd out -> write_all fd (Buffer.contents out)) outs;
+      if shutdown then running := false
+    end
+  done;
+  Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) conns;
+  Unix.close srv;
+  if Sys.file_exists path then Sys.remove path
+
+let with_connection ~path f =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let ic = Unix.in_channel_of_descr fd in
+  let send lines =
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun l ->
+        Buffer.add_string buf l;
+        Buffer.add_char buf '\n')
+      lines;
+    write_all fd (Buffer.contents buf);
+    List.map (fun _ -> input_line ic) lines
+  in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ()) (fun () -> f send)

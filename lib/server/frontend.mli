@@ -1,0 +1,37 @@
+(** Line-oriented front ends for the schedule server.
+
+    Each request is one line, each reply is one line, in the
+    {!Protocol} grammar; replies come back in request order.  Malformed
+    lines are answered with an [error] reply by the front end itself
+    (they never reach the engine or occupy an admission slot).
+
+    Two transports share this logic: [serve_stdio] for pipelines and
+    tests, and [serve_unix] - a select-loop daemon on a Unix domain
+    socket serving many concurrent clients, whose per-round batch is
+    exactly what the engine's admission control bounds.  A [shutdown]
+    request makes either server finish its batch, reply to everyone,
+    and exit cleanly. *)
+
+val handle_lines : Engine.t -> string list -> string list * bool
+(** One reply line per request line, plus [true] when the batch
+    contained a [shutdown] request.  The building block for both
+    servers and for in-process load generation. *)
+
+val serve_stdio : Engine.t -> unit
+(** Read request lines on stdin until EOF or [shutdown]; a blank line
+    flushes the current batch, and batches are also flushed at the
+    engine's queue bound.  Replies go to stdout. *)
+
+val serve_unix : Engine.t -> path:string -> unit
+(** Bind [path] (an existing socket file is replaced), accept clients,
+    and serve until a [shutdown] request arrives; then reply, close all
+    connections, and unlink [path].  Each select round drains whatever
+    complete lines the clients have sent and runs them as one engine
+    batch, so a burst beyond [queue_bound] gets [overloaded] replies
+    rather than unbounded buffering.  Lines longer than 1 MiB close the
+    offending connection. *)
+
+val with_connection : path:string -> ((string list -> string list) -> 'a) -> 'a
+(** Client side: connect to [path] and pass a batch sender to the
+    callback.  The sender writes its lines and reads exactly one reply
+    line per request, in order. *)

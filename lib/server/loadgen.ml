@@ -1,0 +1,218 @@
+open Lattice
+
+type config = {
+  requests : int;
+  clients : int;
+  zipf : float;
+  seed : int64;
+  tiles : (string * Prototile.t) list;
+  send_shutdown : bool;
+}
+
+let default_tiles =
+  [ ("cheb1", Prototile.chebyshev_ball ~dim:2 1);
+    ("tet-S", Prototile.tetromino `S);
+    ("tet-Z", Prototile.tetromino `Z);
+    ("rect2x3", Prototile.rect 2 3);
+    ("rect3x2", Prototile.rect 3 2);
+    ("tet-L", Prototile.tetromino `L);
+    ("tet-J", Prototile.tetromino `J);
+    ("tet-T", Prototile.tetromino `T);
+    ("tet-I", Prototile.tetromino `I);
+    ("tet-O", Prototile.tetromino `O);
+    ("rect2x2", Prototile.rect 2 2);
+    ("pent-P", Prototile.pentomino `P);
+    ("pent-L", Prototile.pentomino `L);
+    ("pent-I", Prototile.pentomino `I);
+    ("pent-X", Prototile.pentomino `X);
+    ("cheb2", Prototile.chebyshev_ball ~dim:2 2) ]
+
+let default =
+  { requests = 10_000; clients = 8; zipf = 1.1; seed = 1L; tiles = default_tiles;
+    send_shutdown = false }
+
+type report = {
+  requests : int;
+  completed : int;
+  ok : int;
+  no_tiling : int;
+  deadline : int;
+  errors : int;
+  overloaded_replies : int;
+  rounds : int;
+  by_op : (string * int) list;
+  hit_rate : float;
+  server : Protocol.server_stats;
+  checksum : string;
+  latency : Netsim.Stats.snapshot;
+  elapsed_s : float;
+  throughput : float;
+}
+
+(* Zipf(s) over ranks 1..n via the inverse CDF. *)
+let zipf_sampler ~s n =
+  let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  fun u ->
+    let rec bisect lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cdf.(mid) > u then bisect lo mid else bisect (mid + 1) hi
+    in
+    bisect 0 (n - 1)
+
+type client = { rng : Prng.Xoshiro.t; mutable pending : (string * string) option }
+(* pending = (op name, encoded request line) awaiting a non-overloaded reply *)
+
+let gen_request ~tiles ~sample c ~id =
+  let tile = snd (List.nth tiles (sample (Prng.Xoshiro.float c.rng 1.0))) in
+  let r = Prng.Xoshiro.float c.rng 1.0 in
+  let op, req =
+    if r < 0.80 then begin
+      let coord () = Prng.Xoshiro.int c.rng 41 - 20 in
+      let pos = Zgeom.Vec.of_list (List.init (Prototile.dim tile) (fun _ -> coord ())) in
+      ("slot", Protocol.Slot { tile; pos })
+    end
+    else if r < 0.95 then ("schedule", Protocol.Schedule tile)
+    else ("tile-search", Protocol.Tile_search tile)
+  in
+  (op, Protocol.request_to_string ~id req)
+
+let run_with ~send (config : config) =
+  if config.requests < 0 then invalid_arg "Loadgen.run_with: negative requests";
+  if config.clients < 1 then invalid_arg "Loadgen.run_with: clients must be >= 1";
+  if config.tiles = [] then invalid_arg "Loadgen.run_with: empty tile catalogue";
+  let sample = zipf_sampler ~s:config.zipf (List.length config.tiles) in
+  let clients =
+    Array.init config.clients (fun i ->
+        { rng = Prng.Xoshiro.create (Int64.add config.seed (Int64.of_int i));
+          pending = None })
+  in
+  let stats = Netsim.Stats.create () in
+  let digest = Buffer.create 4096 in
+  let issued = ref 0 in
+  let completed = ref 0 in
+  let ok = ref 0 in
+  let no_tiling = ref 0 in
+  let deadline = ref 0 in
+  let errors = ref 0 in
+  let overloaded = ref 0 in
+  let rounds = ref 0 in
+  let by_op = Hashtbl.create 4 in
+  let count_op op = Hashtbl.replace by_op op (1 + Option.value ~default:0 (Hashtbl.find_opt by_op op)) in
+  let t_start = Unix.gettimeofday () in
+  while !completed < config.requests do
+    let round = ref [] in
+    Array.iter
+      (fun c ->
+        (match c.pending with
+        | Some _ -> ()
+        | None ->
+          if !issued < config.requests then begin
+            c.pending <- Some (gen_request ~tiles:config.tiles ~sample c ~id:!issued);
+            incr issued;
+            Netsim.Stats.record_arrival stats
+          end);
+        match c.pending with
+        | Some (_, line) -> round := (c, line) :: !round
+        | None -> ())
+      clients;
+    let round = List.rev !round in
+    assert (round <> []);
+    let t0 = Unix.gettimeofday () in
+    let replies = send (List.map snd round) in
+    let lat_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+    incr rounds;
+    List.iter2
+      (fun (c, _) reply ->
+        Buffer.add_string digest reply;
+        Buffer.add_char digest '\n';
+        let resp =
+          match Protocol.response_of_string reply with
+          | Ok (_, resp) -> resp
+          | Error msg -> Protocol.Error_r ("undecodable reply: " ^ msg)
+        in
+        match resp with
+        | Protocol.Overloaded -> incr overloaded (* keep pending: retry next round *)
+        | resp ->
+          let op = match c.pending with Some (op, _) -> op | None -> assert false in
+          c.pending <- None;
+          incr completed;
+          count_op op;
+          Netsim.Stats.record_delivery stats ~latency:lat_us;
+          (match resp with
+          | Protocol.Slot_r _ | Protocol.Schedule_r _ | Protocol.Tiling_r _ -> incr ok
+          | Protocol.No_tiling -> incr no_tiling
+          | Protocol.Deadline_exceeded -> incr deadline
+          | _ -> incr errors))
+      round replies
+  done;
+  let elapsed_s = Unix.gettimeofday () -. t_start in
+  (* Fetch final server counters (and optionally shut the server down);
+     both replies join the digest - they are deterministic too. *)
+  let server =
+    match send [ Protocol.request_to_string ~id:!issued Protocol.Stats ] with
+    | [ reply ] -> (
+      Buffer.add_string digest reply;
+      Buffer.add_char digest '\n';
+      match Protocol.response_of_string reply with
+      | Ok (_, Protocol.Stats_r s) -> s
+      | _ -> failwith "loadgen: stats request not answered with stats")
+    | _ -> failwith "loadgen: expected one reply to stats"
+  in
+  if config.send_shutdown then
+    List.iter
+      (fun reply ->
+        Buffer.add_string digest reply;
+        Buffer.add_char digest '\n')
+      (send [ Protocol.request_to_string Protocol.Shutdown ]);
+  let lookups = server.cache_hits + server.cache_misses in
+  {
+    requests = config.requests;
+    completed = !completed;
+    ok = !ok;
+    no_tiling = !no_tiling;
+    deadline = !deadline;
+    errors = !errors;
+    overloaded_replies = !overloaded;
+    rounds = !rounds;
+    by_op =
+      List.sort compare (Hashtbl.fold (fun op n acc -> (op, n) :: acc) by_op []);
+    hit_rate =
+      (if lookups = 0 then 1.0 else float_of_int server.cache_hits /. float_of_int lookups);
+    server;
+    checksum = Digest.to_hex (Digest.string (Buffer.contents digest));
+    latency = Netsim.Stats.snapshot stats;
+    elapsed_s;
+    throughput =
+      (if elapsed_s > 0.0 then float_of_int !completed /. elapsed_s else 0.0);
+  }
+
+let run engine config =
+  run_with ~send:(fun lines -> fst (Frontend.handle_lines engine lines)) config
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>requests=%d completed=%d ok=%d no_tiling=%d deadline=%d errors=%d@,\
+     overloaded_replies=%d rounds=%d@,by_op: %s@,\
+     cache: hit_rate=%.4f entries=%d evictions=%d@,server: %a@,checksum=%s@]"
+    r.requests r.completed r.ok r.no_tiling r.deadline r.errors r.overloaded_replies
+    r.rounds
+    (String.concat " " (List.map (fun (op, n) -> Printf.sprintf "%s=%d" op n) r.by_op))
+    r.hit_rate r.server.cache_entries r.server.cache_evictions Protocol.pp_server_stats
+    r.server r.checksum
+
+let pp_timing fmt r =
+  Format.fprintf fmt
+    "elapsed=%.3fs throughput=%.0f req/s round-latency(us): p50=%.0f p95=%.0f p99=%.0f max=%d"
+    r.elapsed_s r.throughput r.latency.Netsim.Stats.p50_latency
+    r.latency.Netsim.Stats.p95_latency r.latency.Netsim.Stats.p99_latency
+    r.latency.Netsim.Stats.max_latency

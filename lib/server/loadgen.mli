@@ -1,0 +1,69 @@
+(** Closed-loop load generator for the schedule server.
+
+    Simulates [clients] concurrent clients.  Each client keeps one
+    request in flight: every round, each client submits its pending
+    request (a retry, if the last reply was [overloaded]) or draws a
+    fresh one - an operation mix over a tile catalogue with Zipf-skewed
+    popularity, the regime the canonicalizing cache is built for.  The
+    round's requests go to the server as one batch; replies are tallied
+    and the loop continues until [requests] requests have completed
+    (an [overloaded] reply is a retry, not a completion).
+
+    Request generation is driven by one deterministic {!Prng.Xoshiro}
+    stream per client, seeded from [seed], so the request sequence -
+    and, against an in-process engine, every reply byte - is identical
+    at every [-j]: the deterministic half of the report can be diffed
+    across pool sizes while the timing half floats. *)
+
+open Lattice
+
+type config = {
+  requests : int;  (** total completions to drive *)
+  clients : int;
+  zipf : float;  (** popularity skew exponent (0 = uniform) *)
+  seed : int64;
+  tiles : (string * Prototile.t) list;  (** catalogue, most popular first *)
+  send_shutdown : bool;  (** finish with a [shutdown] request *)
+}
+
+val default_tiles : (string * Prototile.t) list
+(** A 2-D catalogue that deliberately contains congruent pairs under
+    different names (S/Z and L/J tetrominoes, [rect2x3]/[rect3x2],
+    [tet-O]/[rect2x2]) so the canonicalizing cache has something to
+    merge. *)
+
+val default : config
+(** 10,000 requests, 8 clients, zipf 1.1, seed 1, {!default_tiles},
+    no shutdown. *)
+
+type report = {
+  requests : int;
+  completed : int;
+  ok : int;
+  no_tiling : int;
+  deadline : int;
+  errors : int;
+  overloaded_replies : int;  (** retries forced by backpressure *)
+  rounds : int;
+  by_op : (string * int) list;  (** completions per operation name *)
+  hit_rate : float;  (** cache hits / (hits + misses), from server stats *)
+  server : Protocol.server_stats;  (** snapshot after the last completion *)
+  checksum : string;  (** hex digest over every reply line, in order *)
+  latency : Netsim.Stats.snapshot;  (** per-round latency, microseconds *)
+  elapsed_s : float;
+  throughput : float;  (** completions per second *)
+}
+
+val run_with : send:(string list -> string list) -> config -> report
+(** Drive any transport: [send] takes a batch of request lines and
+    returns one reply line per request, in order
+    ({!Frontend.with_connection} provides one for a socket). *)
+
+val run : Engine.t -> config -> report
+(** In-process: drive the engine directly through {!Frontend.handle_lines}. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** The deterministic half only - safe to diff across [-j]. *)
+
+val pp_timing : Format.formatter -> report -> unit
+(** The wall-clock half: elapsed, throughput, latency percentiles. *)

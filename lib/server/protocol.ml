@@ -1,0 +1,210 @@
+open Lattice
+module Codec = Core.Codec
+
+type request =
+  | Slot of { tile : Prototile.t; pos : Zgeom.Vec.t }
+  | Schedule of Prototile.t
+  | Tile_search of Prototile.t
+  | Stats
+  | Shutdown
+
+type server_stats = {
+  served : int;
+  overloaded : int;
+  errors : int;
+  searches : int;
+  coalesced : int;
+  timeouts : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  cache_entries : int;
+}
+
+type response =
+  | Slot_r of { slot : int; num_slots : int }
+  | Schedule_r of Core.Schedule.t
+  | Tiling_r of { tiling : Tiling.Single.t; certificate : Core.Certificate.t }
+  | Stats_r of server_stats
+  | No_tiling
+  | Overloaded
+  | Deadline_exceeded
+  | Shutting_down
+  | Error_r of string
+
+let ( let* ) = Result.bind
+
+let id_fields = function None -> [] | Some id -> [ ("id", string_of_int id) ]
+
+let id_of kvs =
+  match List.assoc_opt "id" kvs with
+  | None -> Ok None
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some id -> Ok (Some id)
+    | None -> Error ("bad request id: " ^ s))
+
+let tile_fields tile = [ ("tile", Codec.vecs_to_string (Prototile.cells tile)) ]
+
+let tile_of kvs =
+  let* cells_s = Codec.field kvs "tile" in
+  let* cells = Codec.vecs_of_string cells_s in
+  match Prototile.of_cells cells with
+  | p -> Ok p
+  | exception _ -> Error "invalid tile (empty, mixed dims, or origin missing)"
+
+let request_to_string ?id req =
+  let fields =
+    match req with
+    | Slot { tile; pos } ->
+      (("op", "slot") :: tile_fields tile) @ [ ("pos", Codec.vec_to_string pos) ]
+    | Schedule tile -> ("op", "schedule") :: tile_fields tile
+    | Tile_search tile -> ("op", "tile-search") :: tile_fields tile
+    | Stats -> [ ("op", "stats") ]
+    | Shutdown -> [ ("op", "shutdown") ]
+  in
+  Codec.encode_record ~kind:"request" (id_fields id @ fields)
+
+let request_of_string s =
+  let* kvs = Codec.decode_record ~kind:"request" s in
+  let* id = id_of kvs in
+  let* op = Codec.field kvs "op" in
+  let* req =
+    match op with
+    | "slot" ->
+      let* tile = tile_of kvs in
+      let* pos_s = Codec.field kvs "pos" in
+      let* pos = Codec.vec_of_string pos_s in
+      Ok (Slot { tile; pos })
+    | "schedule" ->
+      let* tile = tile_of kvs in
+      Ok (Schedule tile)
+    | "tile-search" ->
+      let* tile = tile_of kvs in
+      Ok (Tile_search tile)
+    | "stats" -> Ok Stats
+    | "shutdown" -> Ok Shutdown
+    | _ -> Error ("unknown op: " ^ op)
+  in
+  Ok (id, req)
+
+(* Error messages travel in a field value, which must stay free of '|'
+   and newlines; anything else is preserved. *)
+let sanitize msg =
+  String.map (function '|' | '\n' | '\r' -> '/' | c -> c) msg
+
+let stats_fields s =
+  [ ("served", string_of_int s.served); ("overloaded", string_of_int s.overloaded);
+    ("errors", string_of_int s.errors); ("searches", string_of_int s.searches);
+    ("coalesced", string_of_int s.coalesced); ("timeouts", string_of_int s.timeouts);
+    ("cache_hits", string_of_int s.cache_hits); ("cache_misses", string_of_int s.cache_misses);
+    ("cache_evictions", string_of_int s.cache_evictions);
+    ("cache_entries", string_of_int s.cache_entries) ]
+
+let int_field kvs k =
+  let* s = Codec.field kvs k in
+  match int_of_string_opt s with
+  | Some n -> Ok n
+  | None -> Error ("bad integer in field " ^ k ^ ": " ^ s)
+
+let stats_of kvs =
+  let* served = int_field kvs "served" in
+  let* overloaded = int_field kvs "overloaded" in
+  let* errors = int_field kvs "errors" in
+  let* searches = int_field kvs "searches" in
+  let* coalesced = int_field kvs "coalesced" in
+  let* timeouts = int_field kvs "timeouts" in
+  let* cache_hits = int_field kvs "cache_hits" in
+  let* cache_misses = int_field kvs "cache_misses" in
+  let* cache_evictions = int_field kvs "cache_evictions" in
+  let* cache_entries = int_field kvs "cache_entries" in
+  Ok
+    { served; overloaded; errors; searches; coalesced; timeouts; cache_hits; cache_misses;
+      cache_evictions; cache_entries }
+
+(* A schedule already has a record encoding; embed its fields (minus the
+   header) rather than invent a second format.  [schedule_fields] decodes
+   the canonical line back into key/value pairs, which cannot fail on a
+   value produced by [schedule_to_string]. *)
+let schedule_fields sched =
+  match Codec.decode_record ~kind:"schedule" (Codec.schedule_to_string sched) with
+  | Ok kvs -> kvs
+  | Error _ -> assert false
+
+let schedule_of kvs =
+  let keep = [ "dim"; "m"; "basis"; "table" ] in
+  let kvs = List.filter (fun (k, _) -> List.mem k keep) kvs in
+  Codec.schedule_of_string (Codec.encode_record ~kind:"schedule" kvs)
+
+let tiling_fields t =
+  match Codec.decode_record ~kind:"tiling" (Codec.tiling_to_string t) with
+  | Ok kvs -> kvs
+  | Error _ -> assert false
+
+let tiling_of kvs =
+  let keep = [ "prototile"; "basis"; "offsets" ] in
+  let kvs = List.filter (fun (k, _) -> List.mem k keep) kvs in
+  Codec.tiling_of_string (Codec.encode_record ~kind:"tiling" kvs)
+
+let response_to_string ?id resp =
+  let fields =
+    match resp with
+    | Slot_r { slot; num_slots } ->
+      [ ("status", "ok"); ("op", "slot"); ("slot", string_of_int slot);
+        ("m", string_of_int num_slots) ]
+    | Schedule_r sched -> (("status", "ok") :: ("op", "schedule") :: schedule_fields sched)
+    | Tiling_r { tiling; certificate = _ } ->
+      (* The certificate is derivable from the tiling (Certificate.build);
+         shipping only the tiling keeps the line minimal and forces the
+         receiving side to revalidate. *)
+      (("status", "ok") :: ("op", "tile-search") :: tiling_fields tiling)
+    | Stats_r s -> (("status", "ok") :: ("op", "stats") :: stats_fields s)
+    | No_tiling -> [ ("status", "no-tiling") ]
+    | Overloaded -> [ ("status", "overloaded") ]
+    | Deadline_exceeded -> [ ("status", "deadline") ]
+    | Shutting_down -> [ ("status", "shutting-down") ]
+    | Error_r msg -> [ ("status", "error"); ("msg", sanitize msg) ]
+  in
+  Codec.encode_record ~kind:"response" (id_fields id @ fields)
+
+let response_of_string s =
+  let* kvs = Codec.decode_record ~kind:"response" s in
+  let* id = id_of kvs in
+  let* status = Codec.field kvs "status" in
+  let* resp =
+    match status with
+    | "ok" -> (
+      let* op = Codec.field kvs "op" in
+      match op with
+      | "slot" ->
+        let* slot = int_field kvs "slot" in
+        let* num_slots = int_field kvs "m" in
+        if num_slots < 1 || slot < 0 || slot >= num_slots then Error "slot out of range"
+        else Ok (Slot_r { slot; num_slots })
+      | "schedule" ->
+        let* sched = schedule_of kvs in
+        Ok (Schedule_r sched)
+      | "tile-search" ->
+        let* tiling = tiling_of kvs in
+        Ok (Tiling_r { tiling; certificate = Core.Certificate.build tiling })
+      | "stats" ->
+        let* stats = stats_of kvs in
+        Ok (Stats_r stats)
+      | _ -> Error ("unknown response op: " ^ op))
+    | "no-tiling" -> Ok No_tiling
+    | "overloaded" -> Ok Overloaded
+    | "deadline" -> Ok Deadline_exceeded
+    | "shutting-down" -> Ok Shutting_down
+    | "error" ->
+      let* msg = Codec.field kvs "msg" in
+      Ok (Error_r msg)
+    | _ -> Error ("unknown status: " ^ status)
+  in
+  Ok (id, resp)
+
+let pp_server_stats fmt s =
+  Format.fprintf fmt
+    "served=%d overloaded=%d errors=%d searches=%d coalesced=%d timeouts=%d cache: \
+     hits=%d misses=%d evictions=%d entries=%d"
+    s.served s.overloaded s.errors s.searches s.coalesced s.timeouts s.cache_hits
+    s.cache_misses s.cache_evictions s.cache_entries

@@ -1,0 +1,58 @@
+(** Request/response types and wire codecs for the schedule server.
+
+    One request or response is one line in the {!Core.Codec} record
+    grammar ([tilesched/v1;kind=K] header, ['|']-separated [key=value]
+    fields), so the daemon speaks the same dialect as the on-disk
+    artifacts.  Requests carry an optional client-chosen [id] that is
+    echoed verbatim in the reply, letting pipelined clients match
+    responses to requests.
+
+    The decoders are total: any malformed, truncated or mutated line
+    yields [Error _], never an exception. *)
+
+open Lattice
+
+type request =
+  | Slot of { tile : Prototile.t; pos : Zgeom.Vec.t }
+      (** The slot of the sensor at [pos] in an optimal schedule for
+          [tile]-neighborhoods (paper Theorem 1). *)
+  | Schedule of Prototile.t  (** The full schedule record for [tile]. *)
+  | Tile_search of Prototile.t
+      (** The tiling and independence certificate backing the schedule. *)
+  | Stats  (** Server counters; never touches the cache. *)
+  | Shutdown  (** Ask the daemon to finish the batch and exit cleanly. *)
+
+type server_stats = {
+  served : int;  (** requests answered (anything but [Overloaded]) *)
+  overloaded : int;  (** requests refused by admission control *)
+  errors : int;  (** requests answered with [Error_r] *)
+  searches : int;  (** tiling searches actually run *)
+  coalesced : int;  (** cache misses folded into another miss's search *)
+  timeouts : int;  (** searches abandoned at their deadline *)
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  cache_entries : int;
+}
+
+type response =
+  | Slot_r of { slot : int; num_slots : int }
+  | Schedule_r of Core.Schedule.t
+  | Tiling_r of { tiling : Tiling.Single.t; certificate : Core.Certificate.t }
+  | Stats_r of server_stats
+  | No_tiling  (** The search space is exhausted: no tiling, no schedule. *)
+  | Overloaded  (** Admission control refused the request; retry later. *)
+  | Deadline_exceeded  (** The search hit its deadline; result unknown. *)
+  | Shutting_down
+  | Error_r of string
+
+val request_to_string : ?id:int -> request -> string
+val request_of_string : string -> (int option * request, string) result
+
+val response_to_string : ?id:int -> response -> string
+
+val response_of_string : string -> (int option * response, string) result
+(** [Tiling_r] rebuilds its certificate with {!Core.Certificate.build},
+    so a decoded certificate is trustworthy iff the tiling validates. *)
+
+val pp_server_stats : Format.formatter -> server_stats -> unit

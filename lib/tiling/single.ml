@@ -50,6 +50,8 @@ let build prototile period offsets =
 
 let make ~prototile ~period ~offsets =
   if Prototile.dim prototile <> Sublattice.dim period then Error "dimension mismatch"
+  else if List.exists (fun o -> Vec.dim o <> Sublattice.dim period) offsets then
+    Error "offset dimension mismatch"
   else begin
     let offsets =
       List.map (Sublattice.reduce period) offsets |> Vec.Set.of_list |> Vec.Set.elements

@@ -13,6 +13,17 @@ if [ -n "$tracked" ]; then
   exit 1
 fi
 
+# Zero-byte tracked files are stray editor/alias leftovers, never
+# intentional in this repo.
+empty=$(git ls-files | while read -r f; do
+  [ -f "$f" ] && [ ! -s "$f" ] && echo "$f" || true
+done)
+if [ -n "$empty" ]; then
+  echo "error: zero-byte files tracked in git:" >&2
+  echo "$empty" >&2
+  exit 1
+fi
+
 dune build @all
 dune runtest
 

@@ -561,6 +561,48 @@ let test_codec_tiling_rejects_invalid () =
   Alcotest.(check bool) "invalid tiling rejected" true
     (Result.is_error (Core.Codec.tiling_of_string bad))
 
+let qcheck_codec_mutation_total =
+  (* Decoders are total: a valid encoding corrupted by one character
+     substitution, deletion, adjacent swap, or truncation must yield
+     [Ok] or [Error], never an exception.  (No insertions: inserting
+     digits can legitimately describe astronomically large periods.) *)
+  let seeds =
+    let s = Prototile.tetromino `S in
+    let t = Option.get (Tiling.Search.find_tiling s) in
+    let sched = Core.Schedule.of_tiling t in
+    [ Core.Codec.prototile_to_string s; Core.Codec.schedule_to_string sched;
+      Core.Codec.tiling_to_string t;
+      Core.Certificate.to_string (Core.Certificate.build t) ]
+  in
+  let mutate_gen line =
+    QCheck.Gen.(
+      let n = String.length line in
+      oneof
+        [ (let* i = int_bound (n - 1) in
+           let* c = printable in
+           return (String.mapi (fun j x -> if j = i then c else x) line));
+          (let* i = int_bound (n - 1) in
+           return (String.sub line 0 i ^ String.sub line (i + 1) (n - i - 1)));
+          (let* i = int_bound (n - 1) in
+           return (String.sub line 0 i));
+          (let* i = int_bound (max 0 (n - 2)) in
+           let b = Bytes.of_string line in
+           if n >= 2 then begin
+             let t = Bytes.get b i in
+             Bytes.set b i (Bytes.get b (i + 1));
+             Bytes.set b (i + 1) t
+           end;
+           return (Bytes.to_string b)) ])
+  in
+  QCheck.Test.make ~name:"mutated encodings never raise" ~count:1000
+    QCheck.(make ~print:Fun.id Gen.(oneof (List.map mutate_gen seeds)))
+    (fun line ->
+      (match Core.Codec.prototile_of_string line with Ok _ | Error _ -> ());
+      (match Core.Codec.schedule_of_string line with Ok _ | Error _ -> ());
+      (match Core.Codec.tiling_of_string line with Ok _ | Error _ -> ());
+      (match Core.Certificate.of_string line with Ok _ | Error _ -> ());
+      true)
+
 let qcheck_conflict_adj_symmetric =
   let gen =
     QCheck.Gen.(
@@ -725,6 +767,7 @@ let () =
           Alcotest.test_case "rejects invalid tiling" `Quick test_codec_tiling_rejects_invalid;
           qc qcheck_conflict_adj_symmetric;
           qc qcheck_codec_random_schedules;
+          qc qcheck_codec_mutation_total;
         ] );
       ( "mobile",
         [

@@ -227,6 +227,64 @@ let test_symmetry_group_is_group () =
     [ Prototile.tetromino `S; Prototile.tetromino `O; Prototile.pentomino `X;
       Prototile.directional ]
 
+(* --- Canonical form --- *)
+
+let random_tile_gen =
+  QCheck.Gen.(
+    int_range 1 6 >>= fun steps ->
+    int_bound 1_000_000 >|= fun seed ->
+    let rng = Prng.Xoshiro.create (Int64.of_int seed) in
+    Randomtile.polyomino rng ~cells:(steps + 1))
+
+let random_tile_arb = QCheck.make ~print:Prototile.to_string random_tile_gen
+
+let test_canonical_merges_congruent () =
+  List.iter
+    (fun (name, a, b) ->
+      Alcotest.(check bool) name true
+        (Prototile.equal (Symmetry.canonical a) (Symmetry.canonical b)))
+    [ ("S ~ Z", Prototile.tetromino `S, Prototile.tetromino `Z);
+      ("L ~ J", Prototile.tetromino `L, Prototile.tetromino `J);
+      ("rect2x3 ~ rect3x2", Prototile.rect 2 3, Prototile.rect 3 2);
+      ("O ~ rect2x2", Prototile.tetromino `O, Prototile.rect 2 2) ];
+  (* ... and non-congruent tiles stay apart. *)
+  Alcotest.(check bool) "S /~ L" false
+    (Prototile.equal
+       (Symmetry.canonical (Prototile.tetromino `S))
+       (Symmetry.canonical (Prototile.tetromino `L)))
+
+let qcheck_canonical_idempotent =
+  QCheck.Test.make ~name:"canonical is idempotent and size-preserving" ~count:200
+    random_tile_arb (fun p ->
+      let c = Symmetry.canonical p in
+      Prototile.size c = Prototile.size p && Prototile.equal (Symmetry.canonical c) c)
+
+let qcheck_canonical_invariant =
+  QCheck.Test.make ~name:"canonical invariant under D4 and translation" ~count:100
+    random_tile_arb (fun p ->
+      let c = Symmetry.canonical p in
+      List.for_all
+        (fun e ->
+          let image =
+            Prototile.of_cells_anchored (List.map (Symmetry.apply e) (Prototile.cells p))
+          in
+          Prototile.equal (Symmetry.canonical image) c)
+        Symmetry.elements)
+
+let qcheck_canonicalize_witness =
+  QCheck.Test.make ~name:"canonicalize witness maps p onto its canonical form" ~count:200
+    random_tile_arb (fun p ->
+      let c, g = Symmetry.canonicalize p in
+      Prototile.equal c
+        (Prototile.of_cells_anchored (List.map (Symmetry.apply g) (Prototile.cells p))))
+
+let qcheck_inverse_law =
+  QCheck.Test.make ~name:"apply (inverse e) undoes apply e" ~count:200
+    (QCheck.pair (QCheck.make vec2_gen) (QCheck.make (QCheck.Gen.oneofl Symmetry.elements)))
+    (fun (v, e) ->
+      Vec.equal (Symmetry.apply (Symmetry.inverse e) (Symmetry.apply e v)) v
+      && Vec.equal (Symmetry.apply e (Symmetry.apply (Symmetry.inverse e) v)) v)
+
 (* --- Polyomino --- *)
 
 let test_connectivity () =
@@ -493,6 +551,12 @@ let () =
           Alcotest.test_case "orders" `Quick test_symmetry_orders;
           Alcotest.test_case "orientations" `Quick test_symmetry_orientations;
           Alcotest.test_case "group laws" `Quick test_symmetry_group_is_group;
+          Alcotest.test_case "canonical merges congruent tiles" `Quick
+            test_canonical_merges_congruent;
+          qc qcheck_canonical_idempotent;
+          qc qcheck_canonical_invariant;
+          qc qcheck_canonicalize_witness;
+          qc qcheck_inverse_law;
         ] );
       ( "polyomino",
         [

@@ -531,6 +531,26 @@ let test_mobile_sim_zero_collisions () =
     (r.Netsim.Mobile_sim.eligible_slot_fraction > 0.0
     && r.Netsim.Mobile_sim.eligible_slot_fraction < 1.0)
 
+(* --- Stats percentiles --- *)
+
+let test_latency_percentiles () =
+  let s = Netsim.Stats.create () in
+  (* Record 1..100 in a scrambled order; snapshot sorts internally. *)
+  List.iter
+    (fun l -> Netsim.Stats.record_delivery s ~latency:l)
+    (List.init 100 (fun i -> ((i * 37) mod 100) + 1));
+  let snap = Netsim.Stats.snapshot s in
+  (* Exact quantile at index floor(p * n) of the sorted array. *)
+  Alcotest.(check (float 0.0)) "p50" 51.0 snap.Netsim.Stats.p50_latency;
+  Alcotest.(check (float 0.0)) "p95" 96.0 snap.Netsim.Stats.p95_latency;
+  Alcotest.(check (float 0.0)) "p99" 100.0 snap.Netsim.Stats.p99_latency;
+  Alcotest.(check int) "max" 100 snap.Netsim.Stats.max_latency
+
+let test_percentiles_empty () =
+  let snap = Netsim.Stats.snapshot (Netsim.Stats.create ()) in
+  Alcotest.(check (float 0.0)) "p50 of nothing" 0.0 snap.Netsim.Stats.p50_latency;
+  Alcotest.(check (float 0.0)) "p99 of nothing" 0.0 snap.Netsim.Stats.p99_latency
+
 let () =
   Alcotest.run "netsim"
     [
@@ -556,6 +576,11 @@ let () =
           Alcotest.test_case "aloha backoff" `Quick test_mac_aloha_backoff;
         ] );
       ("energy", [ Alcotest.test_case "slot energy" `Quick test_energy_model ]);
+      ( "stats",
+        [
+          Alcotest.test_case "latency percentiles" `Quick test_latency_percentiles;
+          Alcotest.test_case "percentiles when empty" `Quick test_percentiles_empty;
+        ] );
       ( "engine",
         [
           Alcotest.test_case "lattice TDMA collision-free" `Quick test_lattice_tdma_no_collisions;
