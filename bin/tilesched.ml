@@ -406,6 +406,27 @@ let socket_arg =
         ~doc:"Unix-domain socket path. serve: listen here instead of stdio; loadgen: drive \
               the daemon at PATH instead of an in-process engine.")
 
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"PATH"
+        ~doc:
+          "Persistent certificate store (append-only log, created if absent). serve: probe it \
+           on cache misses and write completed searches through; precompute: write verdicts \
+           here.")
+
+let report_recovery store =
+  let r = Store.recovery store in
+  if r.Store.dropped > 0 || r.Store.truncated_bytes > 0 then
+    Printf.eprintf
+      "tilesched: store %s: recovered %d live entries (%d records; %d dropped by validation, \
+       %d corrupt tail bytes truncated)\n\
+       %!"
+      (Store.path store) r.Store.live r.Store.records r.Store.dropped r.Store.truncated_bytes
+  else
+    Printf.eprintf "tilesched: store %s: %d live entries\n%!" (Store.path store) r.Store.live
+
 let serve_cmd =
   let cache =
     Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N" ~doc:"Tiling cache capacity (LRU).")
@@ -423,17 +444,26 @@ let serve_cmd =
           ~doc:"Per-search wall-clock budget (0 = unbounded). Expired searches answer \
                 deadline, are not cached, and may succeed on retry.")
   in
-  let run () socket cache queue deadline =
+  let run () socket cache queue deadline store_path =
     if cache < 1 then Error (`Msg "--cache must be at least 1")
     else if queue < 1 then Error (`Msg "--queue must be at least 1")
     else begin
       let deadline = if deadline > 0.0 then Some deadline else None in
-      let engine = Server.create ~cache_capacity:cache ~queue_bound:queue ?deadline () in
+      let store = Option.map Store.open_ store_path in
+      Option.iter report_recovery store;
+      let engine = Server.create ~cache_capacity:cache ~queue_bound:queue ?deadline ?store () in
       (match socket with
       | None -> Server.Frontend.serve_stdio engine
       | Some path ->
         Printf.eprintf "tilesched serve: listening on %s\n%!" path;
         Server.Frontend.serve_unix engine ~path);
+      Option.iter
+        (fun store ->
+          let flushed = Server.flush_to_store engine in
+          if flushed > 0 then
+            Printf.eprintf "tilesched serve: flushed %d cache entries to store\n%!" flushed;
+          Store.close store)
+        store;
       Ok ()
     end
   in
@@ -441,8 +471,53 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the schedule server: one request line in, one reply line out (see README for \
-          the wire protocol). Congruent tiles share one cached search result.")
-    Term.(term_result (const run $ jobs_term $ socket_arg $ cache $ queue $ deadline))
+          the wire protocol). Congruent tiles share one cached search result; with --store, \
+          settled results also survive restarts.")
+    Term.(term_result (const run $ jobs_term $ socket_arg $ cache $ queue $ deadline $ store_arg))
+
+let precompute_cmd =
+  let max_area =
+    Arg.(
+      value & opt int 5
+      & info [ "n"; "max-area" ] ~docv:"N"
+          ~doc:"Settle every free polyomino of area at most N (OEIS A000105 classes).")
+  in
+  let print_requests =
+    Arg.(
+      value & flag
+      & info [ "print-requests" ]
+          ~doc:
+            "Instead of searching, print one tile-search request line per canonical class to \
+             stdout - pipe into 'tilesched serve' to replay the workload.")
+  in
+  let run () max_area store_path print_requests =
+    if max_area < 1 then Error (`Msg "-n must be at least 1")
+    else if print_requests then begin
+      List.iteri
+        (fun id tile ->
+          print_endline (Server.Protocol.request_to_string ~id (Server.Protocol.Tile_search tile)))
+        (Store.Precompute.tiles_up_to max_area);
+      Ok ()
+    end
+    else
+      match store_path with
+      | None -> Error (`Msg "--store PATH is required (unless --print-requests)")
+      | Some path ->
+        let store = Store.open_ path in
+        report_recovery store;
+        let report = Store.Precompute.run ~store ~max_area () in
+        Store.close store;
+        Format.printf "%a@." Store.Precompute.pp_report report;
+        Ok ()
+  in
+  Cmd.v
+    (Cmd.info "precompute"
+       ~doc:
+         "Settle all small prototile classes offline: enumerate the free polyominoes up to an \
+          area bound, run the tiling search for each (spread over -j domains), and write every \
+          verdict - tiling + certificate, or proven exhaustion - to the certificate store. A \
+          daemon started with the same --store then answers those queries without searching.")
+    Term.(term_result (const run $ jobs_term $ max_area $ store_arg $ print_requests))
 
 let loadgen_cmd =
   let requests =
@@ -536,4 +611,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "tilesched" ~version:"1.0.0" ~doc)
           [ figure_cmd; exact_cmd; schedule_cmd; color_cmd; simulate_cmd; export_cmd; sync_cmd;
-            certify_cmd; serve_cmd; loadgen_cmd ]))
+            certify_cmd; serve_cmd; loadgen_cmd; precompute_cmd ]))

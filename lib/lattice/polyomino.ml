@@ -51,6 +51,31 @@ let has_holes p =
 
 let is_polyomino p = is_connected p && not (has_holes p)
 
+(* Free polyominoes by growth: the canonical representatives of area
+   [k + 1] are the canonical forms of every area-[k] representative with
+   one 4-neighbour cell added, deduplicated.  Canonicalizing each
+   candidate makes congruent growths collide, so the frontier stays one
+   tile per congruence class. *)
+let enumerate_free n =
+  if n < 1 then invalid_arg "Polyomino.enumerate_free: area must be >= 1";
+  let grow p =
+    let cells = Prototile.cells p in
+    let cell_set = Prototile.cell_set p in
+    List.concat_map
+      (fun c ->
+        List.filter_map
+          (fun nb ->
+            if Vec.Set.mem nb cell_set then None
+            else Some (Symmetry.canonical (Prototile.of_cells_anchored (nb :: cells))))
+          (neighbours4 c))
+      cells
+  in
+  let rec go k tiles =
+    if k = n then tiles
+    else go (k + 1) (List.sort_uniq Prototile.compare (List.concat_map grow tiles))
+  in
+  go 1 [ Prototile.of_cells [ Vec.zero 2 ] ]
+
 let perimeter p =
   let cells = Prototile.cell_set p in
   Vec.Set.fold

@@ -26,5 +26,15 @@ val boundary_word : Prototile.t -> string
 val area : Prototile.t -> int
 (** Number of cells. *)
 
+val enumerate_free : int -> Prototile.t list
+(** All {e free} polyominoes of area exactly [n]: one prototile per
+    congruence class (rotations, reflections, translations), each its
+    own {!Symmetry.canonical} representative, sorted by
+    {!Prototile.compare}.  Counts follow OEIS A000105:
+    1, 1, 2, 5, 12, 35, 108, ... for [n = 1, 2, 3, ...].  This is the
+    offline precompute pipeline's work list: every small prototile a
+    client can ask the schedule server about, enumerated once under the
+    server's own cache key.  Requires [n >= 1]. *)
+
 val perimeter : Prototile.t -> int
 (** Number of boundary edges (cell sides adjacent to the complement). *)

@@ -68,3 +68,15 @@ let add t key value =
     push_front t node)
 
 let counters t = (t.hits, t.misses, t.evictions)
+
+let fold t ~init ~f =
+  let rec go acc node =
+    if node == t.sentinel then acc
+    else
+      match node.value with
+      | None -> go acc node.next
+      | Some v -> go (f acc node.key v) node.next
+  in
+  go init t.sentinel.next
+
+let to_alist t = List.rev (fold t ~init:[] ~f:(fun acc key v -> (key, v) :: acc))

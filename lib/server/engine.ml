@@ -14,6 +14,7 @@ type entry =
 
 type t = {
   cache : entry Cache.t;
+  store : Store.t option;
   queue_bound : int;
   deadline : float option;
   torus_factors : int list;
@@ -24,14 +25,16 @@ type t = {
   mutable searches : int;
   mutable coalesced : int;
   mutable timeouts : int;
+  mutable store_hits : int;
 }
 
 let create ?(cache_capacity = 256) ?(queue_bound = 512) ?deadline
-    ?(torus_factors = [ 1; 2; 3; 4 ]) ?pool () =
+    ?(torus_factors = [ 1; 2; 3; 4 ]) ?pool ?store () =
   if queue_bound < 1 then invalid_arg "Engine.create: queue_bound must be >= 1";
   let pool = match pool with Some p -> p | None -> Parallel.default () in
-  { cache = Cache.create ~capacity:cache_capacity; queue_bound; deadline; torus_factors;
-    pool; served = 0; overloaded = 0; errors = 0; searches = 0; coalesced = 0; timeouts = 0 }
+  { cache = Cache.create ~capacity:cache_capacity; store; queue_bound; deadline;
+    torus_factors; pool; served = 0; overloaded = 0; errors = 0; searches = 0;
+    coalesced = 0; timeouts = 0; store_hits = 0 }
 
 let queue_bound t = t.queue_bound
 
@@ -42,7 +45,30 @@ let stats t : Protocol.server_stats =
   let cache_hits, cache_misses, cache_evictions = Cache.counters t.cache in
   { served = t.served; overloaded = t.overloaded; errors = t.errors; searches = t.searches;
     coalesced = t.coalesced; timeouts = t.timeouts; cache_hits; cache_misses;
-    cache_evictions; cache_entries = Cache.length t.cache }
+    cache_evictions; cache_entries = Cache.length t.cache; store_hits = t.store_hits }
+
+(* The store speaks in durable artifacts (tiling + certificate); the
+   memory tier additionally holds the derived schedule.  Rebuilding it
+   on promotion is cheap next to the search both tiers amortize. *)
+let entry_of_stored : Store.entry -> entry = function
+  | Store.No_tiling -> Absent
+  | Store.Found { tiling; certificate } ->
+    Found { tiling; schedule = Core.Schedule.of_tiling tiling; certificate }
+
+let stored_of_entry : entry -> Store.entry = function
+  | Absent -> Store.No_tiling
+  | Found { tiling; certificate; _ } -> Store.Found { tiling; certificate }
+
+let flush_to_store t =
+  match t.store with
+  | None -> 0
+  | Some store ->
+    Cache.fold t.cache ~init:0 ~f:(fun written key entry ->
+        if Store.mem store key then written
+        else begin
+          Store.put store key (stored_of_entry entry);
+          written + 1
+        end)
 
 (* Deadline-aware mirror of [Tiling.Search.find_tiling]: the same stages
    in the same order, with the wall clock checked between stages (a
@@ -133,9 +159,9 @@ type resolution =
       key : string;
     }
 
-let answer t (req : Protocol.request) ~tile ~g entry : Protocol.response =
+let answer t (req : Protocol.request) ~tile ~g ~source entry : Protocol.response =
   match entry with
-  | Absent -> No_tiling
+  | Absent -> No_tiling source
   | Found { tiling; schedule; certificate } -> (
     let oriented =
       if Prototile.equal tile (Tiling.Single.prototile tiling) then
@@ -164,13 +190,15 @@ let answer t (req : Protocol.request) ~tile ~g entry : Protocol.response =
           let sched = Lazy.force sched in
           Slot_r
             { slot = Core.Schedule.slot_at sched pos;
-              num_slots = Core.Schedule.num_slots sched }
-      | Schedule _ -> Schedule_r (Lazy.force sched)
-      | Tile_search _ -> Tiling_r { tiling = tl; certificate = Lazy.force cert }
+              num_slots = Core.Schedule.num_slots sched; source }
+      | Schedule _ -> Schedule_r { schedule = Lazy.force sched; source }
+      | Tile_search _ -> Tiling_r { tiling = tl; certificate = Lazy.force cert; source }
       | Stats | Shutdown -> assert false))
 
 let handle_batch t reqs =
-  (* Pass 1: admission control, canonicalization, cache lookup. *)
+  (* Pass 1: admission control, canonicalization, two-tier lookup
+     (memory, then the persistent store; a store hit is promoted into
+     the LRU so congruent followers hit memory). *)
   let resolutions =
     List.mapi
       (fun i (req : Protocol.request) ->
@@ -182,8 +210,16 @@ let handle_batch t reqs =
             let canon, g = Symmetry.canonicalize tile in
             let key = Core.Codec.vecs_to_string (Prototile.cells canon) in
             (match Cache.find t.cache key with
-            | Some entry -> Immediate (answer t req ~tile ~g entry)
-            | None -> Tile { tile; canon; g; key }))
+            | Some entry ->
+              Immediate (answer t req ~tile ~g ~source:(Some Protocol.Memory) entry)
+            | None -> (
+              match Option.bind t.store (fun store -> Store.find store key) with
+              | Some stored ->
+                let entry = entry_of_stored stored in
+                Cache.add t.cache key entry;
+                t.store_hits <- t.store_hits + 1;
+                Immediate (answer t req ~tile ~g ~source:(Some Protocol.Store) entry)
+              | None -> Tile { tile; canon; g; key })))
       reqs
   in
   (* Pass 2: coalesce misses by canonical key (first-occurrence order)
@@ -212,7 +248,11 @@ let handle_batch t reqs =
   List.iter
     (fun (key, result) ->
       (match result with
-      | Some entry -> Cache.add t.cache key entry
+      | Some entry ->
+        Cache.add t.cache key entry;
+        (* Write-through: completed verdicts (either way) are durable;
+           timeouts are not persisted, like they are not cached. *)
+        Option.iter (fun store -> Store.put store key (stored_of_entry entry)) t.store
       | None -> t.timeouts <- t.timeouts + 1);
       Hashtbl.replace by_key key result)
     results;
@@ -233,7 +273,7 @@ let handle_batch t reqs =
         | Tile { tile; g; key; _ } -> (
           match Hashtbl.find by_key key with
           | None -> Deadline_exceeded
-          | Some entry -> answer t req ~tile ~g entry)
+          | Some entry -> answer t req ~tile ~g ~source:(Some Protocol.Fresh) entry)
       in
       (match resp with Overloaded -> () | _ -> t.served <- t.served + 1);
       resp)

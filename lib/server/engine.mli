@@ -16,6 +16,16 @@
     - {b Backpressure.}  A batch longer than [queue_bound] is cut: the
       excess requests receive an explicit [Overloaded] reply instead of
       queueing without bound; clients retry.
+    - {b Persistence.}  With a [store] attached, the engine gains a
+      second cache tier: a memory miss probes the persistent certificate
+      store before searching (a hit is promoted into the LRU), and every
+      completed search - tiling or proven exhaustion - is written
+      through, so proven results survive restarts and a warmed store
+      answers without ever invoking {!Tiling.Search}.  Timeouts are not
+      persisted, like they are not cached.
+
+    Tile replies carry a {!Protocol.source} marker - [memory], [store]
+    or [fresh] - naming the tier that settled them.
 
     Searches can be bounded by a wall-clock [deadline] checked between
     search stages; an expired search answers [Deadline_exceeded] and is
@@ -37,6 +47,8 @@ val create :
   (* as {!Tiling.Search.find_tiling} *)
   ?pool:Parallel.pool ->
   (* default {!Parallel.default} *)
+  ?store:Store.t ->
+  (* second cache tier; default none *)
   unit ->
   t
 
@@ -50,6 +62,13 @@ val handle_batch : t -> Protocol.request list -> Protocol.response list
 
 val stats : t -> Protocol.server_stats
 val queue_bound : t -> int
+
+val flush_to_store : t -> int
+(** Write every memory-tier entry the store does not already hold
+    through to the store ({!Cache.fold} over the LRU, hottest first);
+    returns how many were written.  A no-op (0) without a store, or when
+    write-through already persisted everything - the belt-and-braces
+    shutdown path. *)
 
 val canonical_key : Prototile.t -> string
 (** The cache key: the canonical form's cell list, encoded.  Exposed for

@@ -41,6 +41,7 @@ type report = {
   overloaded_replies : int;
   rounds : int;
   by_op : (string * int) list;
+  by_source : (string * int) list;
   hit_rate : float;
   server : Protocol.server_stats;
   checksum : string;
@@ -108,6 +109,15 @@ let run_with ~send (config : config) =
   let rounds = ref 0 in
   let by_op = Hashtbl.create 4 in
   let count_op op = Hashtbl.replace by_op op (1 + Option.value ~default:0 (Hashtbl.find_opt by_op op)) in
+  let by_source = Hashtbl.create 4 in
+  let count_source resp =
+    match Protocol.source_of_response resp with
+    | None -> ()
+    | Some s ->
+      let name = Protocol.source_to_string s in
+      Hashtbl.replace by_source name
+        (1 + Option.value ~default:0 (Hashtbl.find_opt by_source name))
+  in
   let t_start = Unix.gettimeofday () in
   while !completed < config.requests do
     let round = ref [] in
@@ -148,9 +158,10 @@ let run_with ~send (config : config) =
           incr completed;
           count_op op;
           Netsim.Stats.record_delivery stats ~latency:lat_us;
+          count_source resp;
           (match resp with
           | Protocol.Slot_r _ | Protocol.Schedule_r _ | Protocol.Tiling_r _ -> incr ok
-          | Protocol.No_tiling -> incr no_tiling
+          | Protocol.No_tiling _ -> incr no_tiling
           | Protocol.Deadline_exceeded -> incr deadline
           | _ -> incr errors))
       round replies
@@ -186,6 +197,9 @@ let run_with ~send (config : config) =
     rounds = !rounds;
     by_op =
       List.sort compare (Hashtbl.fold (fun op n acc -> (op, n) :: acc) by_op []);
+    by_source =
+      List.sort compare
+        (Hashtbl.fold (fun s n acc -> (s, n) :: acc) by_source []);
     hit_rate =
       (if lookups = 0 then 1.0 else float_of_int server.cache_hits /. float_of_int lookups);
     server;
@@ -212,7 +226,11 @@ let pp_report fmt r =
 
 let pp_timing fmt r =
   Format.fprintf fmt
-    "elapsed=%.3fs throughput=%.0f req/s round-latency(us): p50=%.0f p95=%.0f p99=%.0f max=%d"
+    "elapsed=%.3fs throughput=%.0f req/s round-latency(us): p50=%.0f p95=%.0f p99=%.0f max=%d by_source: %s"
     r.elapsed_s r.throughput r.latency.Netsim.Stats.p50_latency
     r.latency.Netsim.Stats.p95_latency r.latency.Netsim.Stats.p99_latency
     r.latency.Netsim.Stats.max_latency
+    (if r.by_source = [] then "-"
+     else
+       String.concat " "
+         (List.map (fun (s, n) -> Printf.sprintf "%s=%d" s n) r.by_source))

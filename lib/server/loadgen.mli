@@ -46,6 +46,8 @@ type report = {
   overloaded_replies : int;  (** retries forced by backpressure *)
   rounds : int;
   by_op : (string * int) list;  (** completions per operation name *)
+  by_source : (string * int) list;
+      (** completions per reply {!Protocol.source} (tile replies only) *)
   hit_rate : float;  (** cache hits / (hits + misses), from server stats *)
   server : Protocol.server_stats;  (** snapshot after the last completion *)
   checksum : string;  (** hex digest over every reply line, in order *)
@@ -66,4 +68,6 @@ val pp_report : Format.formatter -> report -> unit
 (** The deterministic half only - safe to diff across [-j]. *)
 
 val pp_timing : Format.formatter -> report -> unit
-(** The wall-clock half: elapsed, throughput, latency percentiles. *)
+(** The wall-clock half: elapsed, throughput, latency percentiles, plus
+    the per-source completion counts (which depend on whether a store is
+    attached, so they stay out of {!pp_report}'s diffable output). *)

@@ -19,18 +19,33 @@ type server_stats = {
   cache_misses : int;
   cache_evictions : int;
   cache_entries : int;
+  store_hits : int;
 }
 
+type source = Memory | Store | Fresh
+
 type response =
-  | Slot_r of { slot : int; num_slots : int }
-  | Schedule_r of Core.Schedule.t
-  | Tiling_r of { tiling : Tiling.Single.t; certificate : Core.Certificate.t }
+  | Slot_r of { slot : int; num_slots : int; source : source option }
+  | Schedule_r of { schedule : Core.Schedule.t; source : source option }
+  | Tiling_r of {
+      tiling : Tiling.Single.t;
+      certificate : Core.Certificate.t;
+      source : source option;
+    }
   | Stats_r of server_stats
-  | No_tiling
+  | No_tiling of source option
   | Overloaded
   | Deadline_exceeded
   | Shutting_down
   | Error_r of string
+
+let source_to_string = function Memory -> "memory" | Store -> "store" | Fresh -> "fresh"
+
+let source_of_response = function
+  | Slot_r { source; _ } | Schedule_r { source; _ } | Tiling_r { source; _ }
+  | No_tiling source ->
+    source
+  | Stats_r _ | Overloaded | Deadline_exceeded | Shutting_down | Error_r _ -> None
 
 let ( let* ) = Result.bind
 
@@ -99,13 +114,19 @@ let stats_fields s =
     ("coalesced", string_of_int s.coalesced); ("timeouts", string_of_int s.timeouts);
     ("cache_hits", string_of_int s.cache_hits); ("cache_misses", string_of_int s.cache_misses);
     ("cache_evictions", string_of_int s.cache_evictions);
-    ("cache_entries", string_of_int s.cache_entries) ]
+    ("cache_entries", string_of_int s.cache_entries);
+    ("store_hits", string_of_int s.store_hits) ]
 
 let int_field kvs k =
   let* s = Codec.field kvs k in
   match int_of_string_opt s with
   | Some n -> Ok n
   | None -> Error ("bad integer in field " ^ k ^ ": " ^ s)
+
+(* [store_hits] postdates the first wire format; default it so stats
+   lines from older servers still decode. *)
+let int_field_default kvs k ~default =
+  match Codec.field kvs k with Error _ -> Ok default | Ok _ -> int_field kvs k
 
 let stats_of kvs =
   let* served = int_field kvs "served" in
@@ -118,9 +139,24 @@ let stats_of kvs =
   let* cache_misses = int_field kvs "cache_misses" in
   let* cache_evictions = int_field kvs "cache_evictions" in
   let* cache_entries = int_field kvs "cache_entries" in
+  let* store_hits = int_field_default kvs "store_hits" ~default:0 in
   Ok
     { served; overloaded; errors; searches; coalesced; timeouts; cache_hits; cache_misses;
-      cache_evictions; cache_entries }
+      cache_evictions; cache_entries; store_hits }
+
+(* The [src] marker is optional in both directions: absent on lines from
+   servers predating it, omitted when the engine has nothing to say. *)
+let source_fields = function
+  | None -> []
+  | Some s -> [ ("src", source_to_string s) ]
+
+let source_of kvs =
+  match List.assoc_opt "src" kvs with
+  | None -> Ok None
+  | Some "memory" -> Ok (Some Memory)
+  | Some "store" -> Ok (Some Store)
+  | Some "fresh" -> Ok (Some Fresh)
+  | Some s -> Error ("unknown reply source: " ^ s)
 
 (* A schedule already has a record encoding; embed its fields (minus the
    header) rather than invent a second format.  [schedule_fields] decodes
@@ -149,17 +185,21 @@ let tiling_of kvs =
 let response_to_string ?id resp =
   let fields =
     match resp with
-    | Slot_r { slot; num_slots } ->
+    | Slot_r { slot; num_slots; source } ->
       [ ("status", "ok"); ("op", "slot"); ("slot", string_of_int slot);
         ("m", string_of_int num_slots) ]
-    | Schedule_r sched -> (("status", "ok") :: ("op", "schedule") :: schedule_fields sched)
-    | Tiling_r { tiling; certificate = _ } ->
+      @ source_fields source
+    | Schedule_r { schedule; source } ->
+      (("status", "ok") :: ("op", "schedule") :: schedule_fields schedule)
+      @ source_fields source
+    | Tiling_r { tiling; certificate = _; source } ->
       (* The certificate is derivable from the tiling (Certificate.build);
          shipping only the tiling keeps the line minimal and forces the
          receiving side to revalidate. *)
       (("status", "ok") :: ("op", "tile-search") :: tiling_fields tiling)
+      @ source_fields source
     | Stats_r s -> (("status", "ok") :: ("op", "stats") :: stats_fields s)
-    | No_tiling -> [ ("status", "no-tiling") ]
+    | No_tiling source -> ("status", "no-tiling") :: source_fields source
     | Overloaded -> [ ("status", "overloaded") ]
     | Deadline_exceeded -> [ ("status", "deadline") ]
     | Shutting_down -> [ ("status", "shutting-down") ]
@@ -175,23 +215,26 @@ let response_of_string s =
     match status with
     | "ok" -> (
       let* op = Codec.field kvs "op" in
+      let* source = source_of kvs in
       match op with
       | "slot" ->
         let* slot = int_field kvs "slot" in
         let* num_slots = int_field kvs "m" in
         if num_slots < 1 || slot < 0 || slot >= num_slots then Error "slot out of range"
-        else Ok (Slot_r { slot; num_slots })
+        else Ok (Slot_r { slot; num_slots; source })
       | "schedule" ->
-        let* sched = schedule_of kvs in
-        Ok (Schedule_r sched)
+        let* schedule = schedule_of kvs in
+        Ok (Schedule_r { schedule; source })
       | "tile-search" ->
         let* tiling = tiling_of kvs in
-        Ok (Tiling_r { tiling; certificate = Core.Certificate.build tiling })
+        Ok (Tiling_r { tiling; certificate = Core.Certificate.build tiling; source })
       | "stats" ->
         let* stats = stats_of kvs in
         Ok (Stats_r stats)
       | _ -> Error ("unknown response op: " ^ op))
-    | "no-tiling" -> Ok No_tiling
+    | "no-tiling" ->
+      let* source = source_of kvs in
+      Ok (No_tiling source)
     | "overloaded" -> Ok Overloaded
     | "deadline" -> Ok Deadline_exceeded
     | "shutting-down" -> Ok Shutting_down
@@ -205,6 +248,6 @@ let response_of_string s =
 let pp_server_stats fmt s =
   Format.fprintf fmt
     "served=%d overloaded=%d errors=%d searches=%d coalesced=%d timeouts=%d cache: \
-     hits=%d misses=%d evictions=%d entries=%d"
+     hits=%d misses=%d evictions=%d entries=%d store_hits=%d"
     s.served s.overloaded s.errors s.searches s.coalesced s.timeouts s.cache_hits
-    s.cache_misses s.cache_evictions s.cache_entries
+    s.cache_misses s.cache_evictions s.cache_entries s.store_hits

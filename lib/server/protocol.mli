@@ -33,18 +33,40 @@ type server_stats = {
   cache_misses : int;
   cache_evictions : int;
   cache_entries : int;
+  store_hits : int;  (** memory misses answered by the persistent store *)
 }
 
+(** Which amortization tier settled a tile reply - the observability
+    marker behind the warm-start acceptance check ("after [precompute],
+    every small query answers [store], never [fresh]").  [None] on lines
+    from servers predating the marker; the codec treats the field as
+    optional in both directions, so old-format lines still round-trip. *)
+type source =
+  | Memory  (** in-process LRU hit *)
+  | Store  (** persistent certificate store hit *)
+  | Fresh  (** a tiling search ran for this batch *)
+
 type response =
-  | Slot_r of { slot : int; num_slots : int }
-  | Schedule_r of Core.Schedule.t
-  | Tiling_r of { tiling : Tiling.Single.t; certificate : Core.Certificate.t }
+  | Slot_r of { slot : int; num_slots : int; source : source option }
+  | Schedule_r of { schedule : Core.Schedule.t; source : source option }
+  | Tiling_r of {
+      tiling : Tiling.Single.t;
+      certificate : Core.Certificate.t;
+      source : source option;
+    }
   | Stats_r of server_stats
-  | No_tiling  (** The search space is exhausted: no tiling, no schedule. *)
+  | No_tiling of source option
+      (** The search space is exhausted: no tiling, no schedule. *)
   | Overloaded  (** Admission control refused the request; retry later. *)
   | Deadline_exceeded  (** The search hit its deadline; result unknown. *)
   | Shutting_down
   | Error_r of string
+
+val source_to_string : source -> string
+(** [memory], [store] or [fresh] - the wire values of the [src] field. *)
+
+val source_of_response : response -> source option
+(** The marker of a tile reply; [None] for control/refusal replies. *)
 
 val request_to_string : ?id:int -> request -> string
 val request_of_string : string -> (int option * request, string) result

@@ -1,0 +1,42 @@
+open Lattice
+
+type report = {
+  max_area : int;
+  classes : int;
+  skipped : int;
+  found : int;
+  no_tiling : int;
+}
+
+let tiles_up_to n = List.concat_map Polyomino.enumerate_free (List.init n (fun i -> i + 1))
+
+let run ?pool ?torus_factors ~store ~max_area () =
+  if max_area < 1 then invalid_arg "Precompute.run: max_area must be >= 1";
+  let pool = match pool with Some p -> p | None -> Parallel.default () in
+  let tiles = tiles_up_to max_area in
+  let todo = List.filter (fun tile -> not (Log.mem store (Log.key_of_prototile tile))) tiles in
+  let results =
+    Parallel.map pool (fun tile -> (tile, Tiling.Search.find_tiling ?torus_factors tile)) todo
+  in
+  let found = ref 0 in
+  let no_tiling = ref 0 in
+  List.iter
+    (fun (tile, result) ->
+      let key = Log.key_of_prototile tile in
+      match result with
+      | Some tiling ->
+        incr found;
+        Log.put store key (Log.Found { tiling; certificate = Core.Certificate.build tiling })
+      | None ->
+        incr no_tiling;
+        Log.put store key Log.No_tiling)
+    results;
+  Log.compact store;
+  { max_area; classes = List.length tiles; skipped = List.length tiles - List.length todo;
+    found = !found; no_tiling = !no_tiling }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "precompute: areas 1..%d, %d canonical classes (%d already stored), %d tilings found, %d \
+     proven no-tiling"
+    r.max_area r.classes r.skipped r.found r.no_tiling

@@ -1,0 +1,35 @@
+(** Offline producer for the certificate store.
+
+    [run] enumerates every free polyomino of area at most [max_area]
+    ({!Lattice.Polyomino.enumerate_free} - canonical congruence-class
+    representatives, exactly the server's cache keys), skips the classes
+    the store has already settled, fans the remaining tiling searches
+    out over the {!Parallel} pool (results assembled in enumeration
+    order, so the resulting log is byte-deterministic at every pool
+    size), writes each verdict through to the store, and finishes with a
+    snapshot compaction.  A daemon started afterwards with the same
+    store answers every area-[<= max_area] query from the store tier
+    without invoking {!Tiling.Search}. *)
+
+type report = {
+  max_area : int;
+  classes : int;  (** canonical classes enumerated (area [1..max_area]) *)
+  skipped : int;  (** already present in the store *)
+  found : int;  (** searches that produced a tiling + certificate *)
+  no_tiling : int;  (** searches that proved exhaustion *)
+}
+
+val tiles_up_to : int -> Lattice.Prototile.t list
+(** Canonical free polyominoes of area [1..n], in deterministic
+    (area-major) order. *)
+
+val run :
+  ?pool:Parallel.pool ->
+  ?torus_factors:int list ->
+  (* as {!Tiling.Search.find_tiling} *)
+  store:Log.t ->
+  max_area:int ->
+  unit ->
+  report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,6 @@
+(* Library root: the persistent certificate store's API lives directly
+   on [Store] ([Store.open_] / [Store.find] / [Store.put]), with the
+   offline producer as a submodule. *)
+
+module Precompute = Precompute
+include Log

@@ -40,6 +40,26 @@ let test_cache_replace_not_eviction () =
   Alcotest.(check int) "no eviction on replace" 0 evictions;
   Alcotest.(check (option int)) "replaced" (Some 2) (Cache.find c "a")
 
+let test_cache_fold_lru_order () =
+  let c = Cache.create ~capacity:3 in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  Cache.add c "c" 3;
+  Alcotest.(check (list (pair string int)))
+    "MRU first" [ ("c", 3); ("b", 2); ("a", 1) ] (Cache.to_alist c);
+  (* A hit reorders; fold must see the new recency order... *)
+  ignore (Cache.find c "a");
+  Alcotest.(check (list (pair string int)))
+    "hit promotes" [ ("a", 1); ("c", 3); ("b", 2) ] (Cache.to_alist c);
+  (* ...but fold itself must not touch recency or the counters. *)
+  let counters_before = Cache.counters c in
+  let n = Cache.fold c ~init:0 ~f:(fun acc _ _ -> acc + 1) in
+  Alcotest.(check int) "fold visits all" 3 n;
+  Alcotest.(check (list (pair string int)))
+    "fold left order unchanged" [ ("a", 1); ("c", 3); ("b", 2) ] (Cache.to_alist c);
+  let h, m, e = counters_before and h', m', e' = Cache.counters c in
+  Alcotest.(check (list int)) "counters untouched" [ h; m; e ] [ h'; m'; e' ]
+
 (* ---------- canonical keys ---------- *)
 
 let test_congruent_tiles_share_entry () =
@@ -67,7 +87,7 @@ let test_transport_all_orientations () =
       List.iter
         (fun tile ->
           match Engine.handle e (Protocol.Tile_search tile) with
-          | Protocol.Tiling_r { tiling; certificate } ->
+          | Protocol.Tiling_r { tiling; certificate; _ } ->
             Alcotest.(check bool)
               "tiling is for the requested orientation" true
               (Prototile.equal (Tiling.Single.prototile tiling) tile);
@@ -89,13 +109,13 @@ let test_slot_matches_schedule () =
     (fun tile ->
       let sched =
         match Engine.handle e (Protocol.Schedule tile) with
-        | Protocol.Schedule_r s -> s
+        | Protocol.Schedule_r { schedule; _ } -> schedule
         | _ -> Alcotest.fail "expected schedule"
       in
       for x = -3 to 3 do
         for y = -3 to 3 do
           match Engine.handle e (Protocol.Slot { tile; pos = v2 x y }) with
-          | Protocol.Slot_r { slot; num_slots } ->
+          | Protocol.Slot_r { slot; num_slots; _ } ->
             Alcotest.(check int) "m" (Prototile.size tile) num_slots;
             Alcotest.(check int) "slot" (Core.Schedule.slot_at sched (v2 x y)) slot
           | _ -> Alcotest.fail "expected slot"
@@ -154,7 +174,7 @@ let test_no_tiling_cached () =
   let r1 = Engine.handle e (Protocol.Schedule tile) in
   let r2 = Engine.handle e (Protocol.Schedule tile) in
   (match (r1, r2) with
-  | Protocol.No_tiling, Protocol.No_tiling -> ()
+  | Protocol.No_tiling _, Protocol.No_tiling _ -> ()
   | _ -> Alcotest.fail "expected No_tiling twice");
   let s = Engine.stats e in
   Alcotest.(check int) "absence cached" 1 s.Protocol.cache_hits;
@@ -195,26 +215,63 @@ let test_response_roundtrip () =
     | Ok (_, _) -> Alcotest.fail "id lost"
     | Error e -> Alcotest.fail e
   in
-  check_rt (Protocol.Slot_r { slot = 2; num_slots = 4 }) (fun r ->
-      r = Protocol.Slot_r { slot = 2; num_slots = 4 });
-  check_rt (Protocol.Schedule_r sched) (function
-    | Protocol.Schedule_r s ->
+  check_rt
+    (Protocol.Slot_r { slot = 2; num_slots = 4; source = Some Protocol.Memory })
+    (fun r -> r = Protocol.Slot_r { slot = 2; num_slots = 4; source = Some Protocol.Memory });
+  check_rt (Protocol.Schedule_r { schedule = sched; source = None }) (function
+    | Protocol.Schedule_r { schedule = s; source = None } ->
       List.for_all
         (fun v -> Core.Schedule.slot_at s v = Core.Schedule.slot_at sched v)
         (Sublattice.cosets (Core.Schedule.period sched))
     | _ -> false);
   check_rt
-    (Protocol.Tiling_r { tiling; certificate = Core.Certificate.build tiling })
+    (Protocol.Tiling_r
+       { tiling; certificate = Core.Certificate.build tiling; source = Some Protocol.Store })
     (function
-      | Protocol.Tiling_r { tiling = t; certificate } ->
+      | Protocol.Tiling_r { tiling = t; certificate; source = Some Protocol.Store } ->
         Prototile.equal (Tiling.Single.prototile t) (tet `S)
         && Core.Certificate.check certificate = Ok ()
       | _ -> false);
-  check_rt Protocol.No_tiling (fun r -> r = Protocol.No_tiling);
+  check_rt (Protocol.No_tiling (Some Protocol.Fresh)) (fun r ->
+      r = Protocol.No_tiling (Some Protocol.Fresh));
+  check_rt (Protocol.No_tiling None) (fun r -> r = Protocol.No_tiling None);
   check_rt Protocol.Overloaded (fun r -> r = Protocol.Overloaded);
   check_rt (Protocol.Error_r "boom | pipe") (function
     | Protocol.Error_r _ -> true
     | _ -> false)
+
+(* Lines from servers predating the store carry neither [src] nor
+   [store_hits]; the decoders must accept them (absent source = [None],
+   absent counter = 0). *)
+let strip_field line field =
+  String.split_on_char '|' line
+  |> List.filter (fun kv ->
+         not (String.length kv > String.length field
+             && String.sub kv 0 (String.length field + 1) = field ^ "="))
+  |> String.concat "|"
+
+let test_old_format_lines_decode () =
+  let line =
+    Protocol.response_to_string ~id:4
+      (Protocol.Slot_r { slot = 1; num_slots = 5; source = Some Protocol.Store })
+  in
+  let old_line = strip_field line "src" in
+  Alcotest.(check bool) "src actually stripped" true (old_line <> line);
+  (match Protocol.response_of_string old_line with
+  | Ok (Some 4, Protocol.Slot_r { slot = 1; num_slots = 5; source = None }) -> ()
+  | _ -> Alcotest.fail "pre-store slot line must decode with source = None");
+  let e = Engine.create () in
+  let stats_line =
+    match Engine.handle e Protocol.Stats with
+    | Protocol.Stats_r _ as r -> Protocol.response_to_string r
+    | _ -> Alcotest.fail "expected stats"
+  in
+  let old_stats = strip_field stats_line "store_hits" in
+  Alcotest.(check bool) "store_hits actually stripped" true (old_stats <> stats_line);
+  match Protocol.response_of_string old_stats with
+  | Ok (_, Protocol.Stats_r s) ->
+    Alcotest.(check int) "absent store_hits defaults to 0" 0 s.Protocol.store_hits
+  | _ -> Alcotest.fail "pre-store stats line must decode"
 
 (* Decoders must be total under single-character corruption. *)
 let mutate_gen line =
@@ -245,9 +302,10 @@ let test_protocol_fuzz =
   let lines =
     [ Protocol.request_to_string ~id:12 (Protocol.Slot { tile = tet `S; pos = v2 1 2 });
       Protocol.request_to_string (Protocol.Tile_search (Prototile.rect 2 3));
-      Protocol.response_to_string ~id:9 (Protocol.Slot_r { slot = 1; num_slots = 4 });
+      Protocol.response_to_string ~id:9
+        (Protocol.Slot_r { slot = 1; num_slots = 4; source = Some Protocol.Memory });
       (match Engine.handle (Engine.create ()) (Protocol.Schedule (tet `L)) with
-      | Protocol.Schedule_r s -> Protocol.response_to_string (Protocol.Schedule_r s)
+      | Protocol.Schedule_r _ as r -> Protocol.response_to_string r
       | _ -> assert false);
       (match Engine.handle (Engine.create ()) (Protocol.Tile_search (tet `L)) with
       | Protocol.Tiling_r _ as r -> Protocol.response_to_string r
@@ -332,6 +390,8 @@ let () =
           Alcotest.test_case "LRU eviction and counters" `Quick test_cache_lru;
           Alcotest.test_case "replace is not eviction" `Quick
             test_cache_replace_not_eviction;
+          Alcotest.test_case "fold/to_alist in recency order" `Quick
+            test_cache_fold_lru_order;
         ] );
       ( "canonicalization",
         [
@@ -355,6 +415,8 @@ let () =
         [
           Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
           Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+          Alcotest.test_case "pre-store lines still decode" `Quick
+            test_old_format_lines_decode;
           qc test_protocol_fuzz;
         ] );
       ( "frontend",

@@ -1,0 +1,338 @@
+(* Tests for the persistent certificate store: free-polyomino
+   enumeration (the offline producer's domain), log roundtrips and
+   supersede/compaction semantics, crash-recovery under truncation and
+   bit-flip corruption, and the engine's store tier (source markers,
+   warm-start without searches). *)
+
+open Lattice
+module Protocol = Server.Protocol
+module Engine = Server.Engine
+
+let tet c = Prototile.tetromino c
+let v2 = Zgeom.Vec.make2
+
+let with_temp_store f =
+  let path = Filename.temp_file "tilesched-store" ".log" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let found_entry tile =
+  match Tiling.Search.find_tiling tile with
+  | Some tiling -> Store.Found { tiling; certificate = Core.Certificate.build tiling }
+  | None -> Alcotest.failf "expected a tiling for a %d-cell tile" (Prototile.size tile)
+
+(* ---------- enumeration (OEIS A000105) ---------- *)
+
+let test_enumerate_counts () =
+  List.iteri
+    (fun i expected ->
+      let n = i + 1 in
+      Alcotest.(check int)
+        (Printf.sprintf "free polyominoes of area %d" n)
+        expected
+        (List.length (Polyomino.enumerate_free n)))
+    [ 1; 1; 2; 5; 12; 35; 108 ]
+
+let test_enumerate_canonical_reps () =
+  List.iter
+    (fun n ->
+      let tiles = Polyomino.enumerate_free n in
+      List.iter
+        (fun tile ->
+          Alcotest.(check int) "area" n (Prototile.size tile);
+          Alcotest.(check bool) "connected polyomino" true (Polyomino.is_polyomino tile);
+          Alcotest.(check bool)
+            "is its own canonical representative" true
+            (Prototile.equal tile (Symmetry.canonical tile)))
+        tiles;
+      let distinct = List.sort_uniq Prototile.compare tiles in
+      Alcotest.(check int) "no duplicate classes" (List.length tiles) (List.length distinct))
+    [ 1; 2; 3; 4; 5 ]
+
+(* ---------- log roundtrip / supersede / compaction ---------- *)
+
+let test_crc32_vector () =
+  (* The classic IEEE 802.3 check value. *)
+  Alcotest.(check int32) "crc32(123456789)" 0xCBF43926l (Store.crc32 "123456789")
+
+let test_roundtrip_supersede_compact () =
+  with_temp_store (fun path ->
+      let canon = Symmetry.canonical (tet `S) in
+      let key = Store.key_of_prototile canon in
+      let one = Prototile.of_cells [ v2 0 0 ] in
+      let kone = Store.key_of_prototile one in
+      let store = Store.open_ path in
+      Store.put store key Store.No_tiling;
+      Store.put store key (found_entry canon) (* supersedes the record above *);
+      Store.put store kone Store.No_tiling;
+      Alcotest.(check int) "live entries" 2 (Store.length store);
+      Store.close store;
+      let store = Store.open_ path in
+      let r = Store.recovery store in
+      Alcotest.(check int) "all three frames replayed" 3 r.Store.records;
+      Alcotest.(check int) "two live keys" 2 r.Store.live;
+      Alcotest.(check int) "nothing dropped" 0 r.Store.dropped;
+      Alcotest.(check int) "nothing truncated" 0 r.Store.truncated_bytes;
+      (match Store.find store key with
+      | Some (Store.Found { tiling; certificate }) ->
+        Alcotest.(check bool)
+          "later record supersedes" true
+          (Prototile.equal (Tiling.Single.prototile tiling) canon);
+        Alcotest.(check bool) "certificate checks" true
+          (Core.Certificate.check certificate = Ok ())
+      | _ -> Alcotest.fail "expected the superseding Found record");
+      (match Store.find store kone with
+      | Some Store.No_tiling -> ()
+      | _ -> Alcotest.fail "No_tiling record lost across reopen");
+      Store.compact store;
+      Store.close store;
+      let store = Store.open_ path in
+      let r = Store.recovery store in
+      Alcotest.(check int) "compaction dropped the dead frame" 2 r.Store.records;
+      Alcotest.(check int) "live set preserved" 2 r.Store.live;
+      let keys = Store.fold store ~init:[] ~f:(fun acc k _ -> k :: acc) in
+      Alcotest.(check (list string))
+        "fold in ascending key order"
+        (List.sort compare [ key; kone ])
+        (List.rev keys);
+      Store.close store)
+
+let test_put_validation () =
+  with_temp_store (fun path ->
+      let store = Store.open_ path in
+      let canon = Symmetry.canonical (tet `S) in
+      let rotated = Prototile.rot90 canon in
+      Alcotest.(check bool)
+        "rotated S is not canonical" false
+        (Prototile.equal rotated (Symmetry.canonical rotated));
+      (* A Found entry must be keyed by its own canonical orientation. *)
+      (match Store.put store (Store.key_of_prototile rotated) (found_entry rotated) with
+      | () -> Alcotest.fail "expected Invalid_argument for a non-canonical tiling"
+      | exception Invalid_argument _ -> ());
+      (match Store.put store "0,0;9,9" (found_entry canon) with
+      | () -> Alcotest.fail "expected Invalid_argument for a mismatched key"
+      | exception Invalid_argument _ -> ());
+      Alcotest.(check int) "nothing stored" 0 (Store.length store);
+      Store.close store)
+
+let test_auto_compaction () =
+  with_temp_store (fun path ->
+      let store = Store.open_ ~auto_compact_ratio:0.5 path in
+      let one = Prototile.of_cells [ v2 0 0 ] in
+      let key = Store.key_of_prototile one in
+      (* Rewrite one key many times: dead records pile up and must
+         trigger a snapshot without being asked. *)
+      for _ = 1 to 64 do
+        Store.put store key Store.No_tiling
+      done;
+      Alcotest.(check bool) "auto-compacted" true (Store.compactions store > 0);
+      Alcotest.(check int) "one live key" 1 (Store.length store);
+      Store.close store;
+      let store = Store.open_ path in
+      Alcotest.(check bool)
+        "log shrank to the live set"
+        true
+        ((Store.recovery store).Store.records < 64);
+      Store.close store)
+
+(* ---------- crash recovery ---------- *)
+
+(* A small but representative log: one Found tetromino, one Found
+   singleton, one No_tiling. *)
+let sample_log_bytes () =
+  let path = Filename.temp_file "tilesched-store" ".log" in
+  let store = Store.open_ path in
+  let put tile entry = Store.put store (Store.key_of_prototile tile) entry in
+  let s = Symmetry.canonical (tet `S) in
+  let one = Prototile.of_cells [ v2 0 0 ] in
+  let bar = Symmetry.canonical (Prototile.of_cells [ v2 0 0; v2 1 0 ]) in
+  put s (found_entry s);
+  put one (found_entry one);
+  put bar Store.No_tiling;
+  Store.close store;
+  let data = read_file path in
+  Sys.remove path;
+  data
+
+let test_truncation_every_offset () =
+  let data = sample_log_bytes () in
+  let n = String.length data in
+  with_temp_store (fun path ->
+      let last_records = ref (-1) in
+      for k = 0 to n do
+        write_file path (String.sub data 0 k);
+        let store = Store.open_ path (* must never raise *) in
+        let r = Store.recovery store in
+        Alcotest.(check int) "CRC-valid prefixes never drop records" 0 r.Store.dropped;
+        if k = n then
+          Alcotest.(check int) "full log replays everything" 3 r.Store.records;
+        (* Longest-valid-prefix: the record count is monotone in the
+           prefix length. *)
+        if r.Store.records < !last_records then
+          Alcotest.failf "records went backwards at offset %d" k;
+        last_records := max !last_records r.Store.records;
+        Store.close store;
+        (* The repair truncated the torn tail: a reopen is clean. *)
+        let store = Store.open_ path in
+        let r2 = Store.recovery store in
+        Alcotest.(check int) "reopen after repair is clean" 0 r2.Store.truncated_bytes;
+        Alcotest.(check int) "repair kept every valid record" r.Store.records r2.Store.records;
+        Store.close store
+      done)
+
+let test_bitflip_never_served_invalid () =
+  let data = sample_log_bytes () in
+  let n = String.length data in
+  with_temp_store (fun path ->
+      for i = 0 to n - 1 do
+        for bit = 0 to 7 do
+          let b = Bytes.of_string data in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+          write_file path (Bytes.to_string b);
+          let store = Store.open_ path (* must never raise *) in
+          (* Whatever survived recovery must be trustworthy: every
+             Found entry re-checked, no corrupt certificate served. *)
+          Store.fold store ~init:() ~f:(fun () key entry ->
+              match entry with
+              | Store.No_tiling -> ()
+              | Store.Found { tiling; certificate } ->
+                Alcotest.(check bool)
+                  "served key matches tiling" true
+                  (String.equal key
+                     (Store.key_of_prototile (Tiling.Single.prototile tiling)));
+                Alcotest.(check bool)
+                  "served certificate checks" true
+                  (Core.Certificate.check certificate = Ok ()));
+          Store.close store
+        done
+      done)
+
+(* ---------- engine integration ---------- *)
+
+let test_engine_source_tiers () =
+  with_temp_store (fun path ->
+      let store = Store.open_ path in
+      let e = Engine.create ~store () in
+      (match Engine.handle e (Protocol.Tile_search (tet `S)) with
+      | Protocol.Tiling_r { source = Some Protocol.Fresh; _ } -> ()
+      | _ -> Alcotest.fail "first contact must be fresh");
+      (match Engine.handle e (Protocol.Tile_search (tet `Z)) with
+      | Protocol.Tiling_r { source = Some Protocol.Memory; _ } -> ()
+      | _ -> Alcotest.fail "congruent follow-up must hit memory");
+      Store.close store;
+      (* Restart: the memory tier is gone, the store is not. *)
+      let store = Store.open_ path in
+      let e2 = Engine.create ~store () in
+      (match Engine.handle e2 (Protocol.Tile_search (tet `Z)) with
+      | Protocol.Tiling_r { source = Some Protocol.Store; _ } -> ()
+      | _ -> Alcotest.fail "after restart the store answers");
+      (match Engine.handle e2 (Protocol.Tile_search (tet `S)) with
+      | Protocol.Tiling_r { source = Some Protocol.Memory; _ } -> ()
+      | _ -> Alcotest.fail "store hit was promoted into memory");
+      let s = Engine.stats e2 in
+      Alcotest.(check int) "no searches after restart" 0 s.Protocol.searches;
+      Alcotest.(check int) "one store hit" 1 s.Protocol.store_hits;
+      Store.close store)
+
+let orientations tile =
+  let rec rots k t = if k = 0 then [] else t :: rots (k - 1) (Prototile.rot90 t) in
+  rots 4 tile @ rots 4 (Prototile.reflect tile)
+
+let test_warm_store_answers_without_search () =
+  with_temp_store (fun path ->
+      let store = Store.open_ path in
+      let report = Store.Precompute.run ~store ~max_area:4 () in
+      Alcotest.(check int) "canonical classes up to area 4" 9 report.Store.Precompute.classes;
+      Alcotest.(check int) "nothing skipped on a fresh store" 0 report.Store.Precompute.skipped;
+      Store.close store;
+      (* The acceptance bar: a fresh daemon on the warmed store answers
+         every area-<=4 query, in any orientation, without searching. *)
+      let store = Store.open_ path in
+      let e = Engine.create ~store () in
+      List.iter
+        (fun tile ->
+          List.iter
+            (fun o ->
+              match Engine.handle e (Protocol.Tile_search o) with
+              | Protocol.Tiling_r { source = Some (Protocol.Store | Protocol.Memory); _ }
+              | Protocol.No_tiling (Some (Protocol.Store | Protocol.Memory)) ->
+                ()
+              | Protocol.Tiling_r { source; _ } | Protocol.No_tiling source ->
+                Alcotest.failf "unexpected source %s"
+                  (match source with
+                  | Some s -> Protocol.source_to_string s
+                  | None -> "none")
+              | _ -> Alcotest.fail "expected a tile verdict")
+            (orientations tile))
+        (Store.Precompute.tiles_up_to 4);
+      let s = Engine.stats e in
+      Alcotest.(check int) "zero searches on a warm store" 0 s.Protocol.searches;
+      Alcotest.(check bool) "store tier was exercised" true (s.Protocol.store_hits > 0);
+      Store.close store)
+
+let test_precompute_skips_settled () =
+  with_temp_store (fun path ->
+      let store = Store.open_ path in
+      let r1 = Store.Precompute.run ~store ~max_area:3 () in
+      let r2 = Store.Precompute.run ~store ~max_area:3 () in
+      Alcotest.(check int) "first run settles everything" 0 r1.Store.Precompute.skipped;
+      Alcotest.(check int) "second run searches nothing"
+        r2.Store.Precompute.classes r2.Store.Precompute.skipped;
+      Alcotest.(check int) "no new tilings" 0 r2.Store.Precompute.found;
+      Store.close store)
+
+let test_flush_to_store () =
+  with_temp_store (fun path ->
+      let store = Store.open_ path in
+      let e = Engine.create ~store () in
+      ignore (Engine.handle e (Protocol.Tile_search (tet `S)));
+      (* Write-through already persisted the search result. *)
+      Alcotest.(check int) "nothing left to flush" 0 (Engine.flush_to_store e);
+      Store.close store);
+  let e = Engine.create () in
+  ignore (Engine.handle e (Protocol.Tile_search (tet `S)));
+  Alcotest.(check int) "no store, no flush" 0 (Engine.flush_to_store e)
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "enumeration",
+        [
+          Alcotest.test_case "A000105 counts, n = 1..7" `Slow test_enumerate_counts;
+          Alcotest.test_case "canonical, connected, distinct" `Quick
+            test_enumerate_canonical_reps;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "crc32 check value" `Quick test_crc32_vector;
+          Alcotest.test_case "roundtrip, supersede, compaction" `Quick
+            test_roundtrip_supersede_compact;
+          Alcotest.test_case "put rejects non-canonical records" `Quick test_put_validation;
+          Alcotest.test_case "dead records trigger auto-compaction" `Quick
+            test_auto_compaction;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "truncation at every byte offset" `Slow
+            test_truncation_every_offset;
+          Alcotest.test_case "bit flips never serve invalid data" `Slow
+            test_bitflip_never_served_invalid;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "memory / store / fresh source tiers" `Quick
+            test_engine_source_tiers;
+          Alcotest.test_case "warm store answers without searching" `Slow
+            test_warm_store_answers_without_search;
+          Alcotest.test_case "precompute skips settled classes" `Quick
+            test_precompute_skips_settled;
+          Alcotest.test_case "flush_to_store is a no-op after write-through" `Quick
+            test_flush_to_store;
+        ] );
+    ]
