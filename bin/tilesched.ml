@@ -605,10 +605,67 @@ let loadgen_cmd =
         (const run $ jobs_term $ socket_arg $ requests $ clients $ zipf $ seed $ tiles
        $ shutdown $ cache $ queue))
 
+(* ---------- lint ---------- *)
+
+let lint_cmd =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
+      & info [ "f"; "format" ] ~docv:"FMT" ~doc:"Report format: human or json.")
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Suppress findings listed in FILE (one per line, \
+             RULE<TAB>FILE<TAB>MESSAGE; '#' comments). Suppressed counts still appear in the \
+             summary.")
+  in
+  let root_arg =
+    Arg.(
+      value & opt dir "."
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:"Project root to scan (its lib/, bin/, and test/ subtrees).")
+  in
+  let rules_arg =
+    Arg.(value & flag & info [ "rules" ] ~doc:"Print the rule book (ids, scopes, allowlists) and exit.")
+  in
+  let run format baseline root rules =
+    if rules then begin
+      print_endline (Lint.Rules.describe ());
+      Ok ()
+    end
+    else
+      let ( let* ) = Result.bind in
+      let* baseline =
+        match baseline with
+        | None -> Ok Lint.Baseline.empty
+        | Some path ->
+          Result.map_error (fun msg -> `Msg ("cannot load baseline: " ^ msg))
+            (Lint.Baseline.load path)
+      in
+      let report = Lint.run ~baseline ~root () in
+      print_string
+        (match format with
+        | `Human -> Lint.render_human report
+        | `Json -> Lint.render_json report);
+      if report.Lint.findings = [] then Ok () else Stdlib.exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically check the source tree against the project invariants: determinism (R1), \
+          forbidden constructs (R2), Parallel task purity (R3), fsync-before-rename (R4), and \
+          interface coverage (R5). Exits 1 if any finding survives the baseline.")
+    Term.(term_result (const run $ format_arg $ baseline_arg $ root_arg $ rules_arg))
+
 let () =
   let doc = "Collision-free sensor scheduling by lattice tilings (Klappenecker-Lee-Welch 2008)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "tilesched" ~version:"1.0.0" ~doc)
           [ figure_cmd; exact_cmd; schedule_cmd; color_cmd; simulate_cmd; export_cmd; sync_cmd;
-            certify_cmd; serve_cmd; loadgen_cmd; precompute_cmd ]))
+            certify_cmd; serve_cmd; loadgen_cmd; precompute_cmd; lint_cmd ]))

@@ -1,0 +1,46 @@
+type entry = { rule : string; file : string; message : string }
+
+type t = entry list
+
+let empty = []
+let size = List.length
+
+(* One entry per line: RULE<TAB>FILE<TAB>MESSAGE.  '#' starts a comment
+   (a baseline entry must say why it is justified); blank lines are
+   skipped.  Line numbers are deliberately absent so entries survive
+   unrelated edits to the file. *)
+let parse_line lineno line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else
+    match String.split_on_char '\t' line with
+    | [ rule; file; message ] when rule <> "" && file <> "" ->
+      Ok (Some { rule; file; message })
+    | _ ->
+      Error
+        (Printf.sprintf "baseline line %d: expected RULE<TAB>FILE<TAB>MESSAGE, got %S" lineno
+           line)
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | data ->
+    let lines = String.split_on_char '\n' data in
+    let rec go i acc = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest -> (
+        match parse_line i line with
+        | Ok None -> go (i + 1) acc rest
+        | Ok (Some e) -> go (i + 1) (e :: acc) rest
+        | Error _ as e -> e)
+    in
+    go 1 [] lines
+
+let mem t (f : Finding.t) =
+  List.exists (fun e -> e.rule = f.rule && e.file = f.file && e.message = f.message) t
+
+let entry_of_finding (f : Finding.t) = { rule = f.rule; file = f.file; message = f.message }
+
+let to_string t =
+  String.concat ""
+    (List.map (fun e -> Printf.sprintf "%s\t%s\t%s\n" e.rule e.file e.message) t)

@@ -1,0 +1,26 @@
+(** Baseline files: a grandfather list of findings that are accepted
+    (with justification) rather than fixed.  A finding matching a
+    baseline entry is suppressed and counted, not reported.
+
+    Format: one entry per line, [RULE<TAB>FILE<TAB>MESSAGE]; ['#']
+    starts a comment, and every entry is expected to carry one saying
+    why it is justified.  Line numbers are deliberately not part of an
+    entry so baselines survive unrelated edits. *)
+
+type entry = { rule : string; file : string; message : string }
+type t = entry list
+
+val empty : t
+val size : t -> int
+
+val load : string -> (t, string) result
+(** Read and parse a baseline file; [Error] carries a message naming the
+    offending line. *)
+
+val mem : t -> Finding.t -> bool
+(** Does an entry cover this finding (same rule, file, and message)? *)
+
+val entry_of_finding : Finding.t -> entry
+
+val to_string : t -> string
+(** Serialize in the file format (for [--write-baseline]). *)

@@ -1,0 +1,8 @@
+(** Parsetree checks for rules R1 (determinism), R2 (forbidden
+    constructs), R3 (task purity), and R4 (fsync-before-rename).  R5 is
+    a file-system property and lives in {!Driver}. *)
+
+val check_structure : file:string -> Parsetree.structure -> Finding.t list
+(** Run every applicable syntactic rule over one parsed implementation.
+    [file] is the root-relative path used for scoping, allowlists, and
+    diagnostics.  Findings come back in source order. *)

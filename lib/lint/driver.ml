@@ -1,0 +1,125 @@
+type report = {
+  findings : Finding.t list;
+  files_scanned : int;
+  suppressed : int;
+}
+
+(* ---------- file walking ---------- *)
+
+(* The analyzer's input is the project source tree: [.ml] under the
+   scanned roots, skipping build and VCS artifacts. *)
+let scanned_roots = [ "lib"; "bin"; "test" ]
+let skip_dirs = [ "_build"; ".git"; "_opam"; "node_modules" ]
+
+let has_suffix suffix s =
+  let n = String.length suffix in
+  String.length s >= n && String.sub s (String.length s - n) n = suffix
+
+let rec walk root rel acc =
+  let abs = if rel = "" then root else Filename.concat root rel in
+  match Sys.readdir abs with
+  | exception Sys_error _ -> acc
+  | entries ->
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        let rel' = if rel = "" then entry else rel ^ "/" ^ entry in
+        let abs' = Filename.concat root rel' in
+        if Sys.is_directory abs' then
+          if List.mem entry skip_dirs then acc else walk root rel' acc
+        else rel' :: acc)
+      acc entries
+
+let source_files root =
+  let is_dir path = Sys.file_exists path && Sys.is_directory path in
+  List.rev
+    (List.fold_left
+       (fun acc top -> if is_dir (Filename.concat root top) then walk root top acc else acc)
+       [] scanned_roots)
+
+(* ---------- parsing ---------- *)
+
+let parse_implementation ~root ~file =
+  let src = In_channel.with_open_bin (Filename.concat root file) In_channel.input_all in
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf file;
+  Parse.implementation lexbuf
+
+let syntax_finding ~file exn =
+  let loc =
+    match Location.error_of_exn exn with
+    | Some (`Ok report) -> report.Location.main.Location.loc
+    | _ -> Location.none
+  in
+  Finding.make ~rule:"P0" ~severity:Finding.Error ~file ~loc
+    "file does not parse with the stock OCaml grammar"
+
+(* ---------- R5: interface coverage ---------- *)
+
+let r5_findings files =
+  match Rules.find "R5" with
+  | None -> []
+  | Some meta ->
+    List.filter_map
+      (fun f ->
+        if has_suffix ".ml" f && Rules.applies meta f then
+          if List.mem (f ^ "i") files then None
+          else
+            Some
+              (Finding.make ~rule:"R5" ~severity:Finding.Error ~file:f ~loc:Location.none
+                 (Printf.sprintf "missing interface file %si: every library module must \
+                                  declare its API in a .mli"
+                    f))
+        else None)
+      files
+
+(* ---------- entry point ---------- *)
+
+let run ?(baseline = Baseline.empty) ~root () =
+  let files = source_files root in
+  let ml_files = List.filter (has_suffix ".ml") files in
+  let raw =
+    List.concat_map
+      (fun file ->
+        match parse_implementation ~root ~file with
+        | structure -> Checks.check_structure ~file structure
+        | exception exn -> [ syntax_finding ~file exn ])
+      ml_files
+    @ r5_findings files
+  in
+  let keep, dropped = List.partition (fun f -> not (Baseline.mem baseline f)) raw in
+  {
+    findings = List.sort Finding.compare keep;
+    files_scanned = List.length ml_files;
+    suppressed = List.length dropped;
+  }
+
+(* ---------- rendering ---------- *)
+
+let render_human r =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      Buffer.add_string b (Finding.to_human f);
+      Buffer.add_char b '\n')
+    r.findings;
+  Buffer.add_string b
+    (Printf.sprintf "lint: %d file%s scanned, %d finding%s%s\n" r.files_scanned
+       (if r.files_scanned = 1 then "" else "s")
+       (List.length r.findings)
+       (if List.length r.findings = 1 then "" else "s")
+       (if r.suppressed > 0 then Printf.sprintf " (%d suppressed by baseline)" r.suppressed
+        else ""));
+  Buffer.contents b
+
+let render_json r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\"findings\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Finding.to_json f))
+    r.findings;
+  Buffer.add_string b
+    (Printf.sprintf "],\"files_scanned\":%d,\"suppressed\":%d}\n" r.files_scanned r.suppressed);
+  Buffer.contents b

@@ -1,0 +1,28 @@
+(** The analyzer's entry point: walk a source tree, parse every [.ml]
+    with the stock compiler-libs grammar, run the rule book
+    ({!Rules.all}) over each file, and render the findings. *)
+
+type report = {
+  findings : Finding.t list;  (** sorted by file, line, column *)
+  files_scanned : int;
+  suppressed : int;  (** findings swallowed by the baseline *)
+}
+
+val scanned_roots : string list
+(** Subdirectories of the root that are scanned ([lib], [bin], [test]);
+    missing ones are skipped silently. *)
+
+val source_files : string -> string list
+(** Every file under the scanned roots (root-relative paths, ['/']
+    separated), skipping build/VCS directories.  Deterministic order. *)
+
+val run : ?baseline:Baseline.t -> root:string -> unit -> report
+(** Scan the tree rooted at [root].  A file that fails to parse yields a
+    single [P0] finding rather than aborting the scan. *)
+
+val render_human : report -> string
+(** One [file:line:col: severity[RULE]: message] line per finding plus a
+    trailing summary line. *)
+
+val render_json : report -> string
+(** The whole report as one JSON object. *)

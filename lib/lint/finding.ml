@@ -1,0 +1,63 @@
+type severity = Error | Warning
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let make ~rule ~severity ~file ~loc message =
+  let pos = loc.Location.loc_start in
+  {
+    rule;
+    severity;
+    file;
+    (* [Location.none] (file-level findings) carries a dummy position;
+       clamp to the file's first character. *)
+    line = max 1 pos.Lexing.pos_lnum;
+    col = max 0 (pos.Lexing.pos_cnum - pos.Lexing.pos_bol);
+    message;
+  }
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> (
+      match Int.compare a.col b.col with
+      | 0 -> Stdlib.compare (a.rule, a.message) (b.rule, b.message)
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let to_human f =
+  Printf.sprintf "%s:%d:%d: %s[%s]: %s" f.file f.line f.col (severity_to_string f.severity) f.rule
+    f.message
+
+(* Minimal JSON string escaping: the fields we emit are paths, rule ids
+   and diagnostic prose, but backslashes and quotes can appear in
+   messages that cite source syntax. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf {|{"rule":"%s","severity":"%s","file":"%s","line":%d,"col":%d,"message":"%s"}|}
+    (json_escape f.rule)
+    (severity_to_string f.severity)
+    (json_escape f.file) f.line f.col (json_escape f.message)

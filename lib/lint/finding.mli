@@ -1,0 +1,28 @@
+(** A single diagnostic produced by the analyzer. *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;  (** rule id, e.g. ["R1"] *)
+  severity : severity;
+  file : string;  (** path relative to the scanned root *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  message : string;
+}
+
+val make :
+  rule:string -> severity:severity -> file:string -> loc:Location.t -> string -> t
+
+val compare : t -> t -> int
+(** Order by file, then line, then column, then rule/message - the
+    stable report order. *)
+
+val severity_to_string : severity -> string
+
+val to_human : t -> string
+(** [file:line:col: severity[RULE]: message] - one line, clickable in
+    editors. *)
+
+val to_json : t -> string
+(** One JSON object (no trailing newline). *)

@@ -1,0 +1,10 @@
+(* Library root: the analyzer's API lives directly on [Lint]
+   ([Lint.run] / [Lint.render_human]), with the building blocks exposed
+   as submodules. *)
+
+module Finding = Finding
+module Rules = Rules
+module Checks = Checks
+module Baseline = Baseline
+module Driver = Driver
+include Driver

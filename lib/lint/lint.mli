@@ -1,0 +1,31 @@
+(** Project-invariant static analyzer.
+
+    Parses every [.ml] under [lib/], [bin/], and [test/] with the stock
+    compiler-libs parser (no external dependencies) and walks the
+    Parsetree enforcing the project rule book:
+
+    - {b R1 determinism} - no wall-clock ([Sys.time],
+      [Unix.gettimeofday]), no [Random.self_init], no unordered
+      [Hashtbl.iter]/[Hashtbl.fold] in library code (allowlisted where
+      wall-clock is the point: the simulator and the load generator).
+    - {b R2 forbidden constructs} - [Obj.magic] and [Marshal] anywhere,
+      [exit] outside [bin/].
+    - {b R3 task purity} - no mutation of captured state inside closures
+      submitted to the [Parallel] fan-out entry points.
+    - {b R4 crash safety} - in [lib/store], every rename is preceded by
+      an [Unix.fsync] in the same function body.
+    - {b R5 interface coverage} - every [lib/**/*.ml] has a matching
+      [.mli].
+
+    Scoping, allowlists (with justifications), and the baseline
+    mechanism are described in DESIGN.md paragraph 10. *)
+
+module Finding = Finding
+module Rules = Rules
+module Checks = Checks
+module Baseline = Baseline
+module Driver = Driver
+
+include module type of struct
+  include Driver
+end

@@ -1,0 +1,105 @@
+type scope = All | Under of string list
+
+type meta = {
+  id : string;
+  title : string;
+  rationale : string;
+  scope : scope;
+  allow : (string * string) list;
+}
+
+(* The project rule book.  Scopes and allowlist entries are path
+   prefixes relative to the scanned root, with ['/'] separators; an
+   allowlist entry carries its justification so the rule book documents
+   itself (and `lint --rules` can print it). *)
+let all =
+  [
+    {
+      id = "R1";
+      title = "determinism";
+      rationale =
+        "Search, parallel fan-out and the persistent store promise bit-identical results at \
+         every -j; wall-clock reads, self-seeded RNG and unordered Hashtbl iteration break \
+         that promise silently.";
+      scope = Under [ "lib/" ];
+      allow =
+        [
+          ("lib/netsim/", "the simulator measures wall-clock phenomena by design");
+          ("lib/server/engine.ml", "staged search deadlines are real wall-clock budgets");
+          ("lib/server/loadgen.ml", "the load generator reports real latency percentiles");
+        ];
+    };
+    {
+      id = "R2";
+      title = "forbidden constructs";
+      rationale =
+        "Obj.magic defeats the type system; Marshal bypasses the validating Codec layer that \
+         keeps decoders total on mutated wire bytes; exit belongs to the binary, never to a \
+         library.";
+      scope = All;
+      allow = [];
+    };
+    {
+      id = "R3";
+      title = "task purity";
+      rationale =
+        "Closures submitted to the Parallel fan-out entry points run on other domains; \
+         mutating state captured from the enclosing scope races and destroys the determinism \
+         contract (task i may only write its own result slot).";
+      scope = All;
+      allow = [];
+    };
+    {
+      id = "R4";
+      title = "crash safety";
+      rationale =
+        "The store's atomic-replace protocol is fsync-then-rename; a rename without a \
+         preceding fsync in the same function can publish a file whose blocks are still in \
+         the page cache, losing the snapshot on power failure.";
+      scope = Under [ "lib/store/" ];
+      allow = [];
+    };
+    {
+      id = "R5";
+      title = "interface coverage";
+      rationale =
+        "Every library module must state its API in a .mli: it keeps internals private, makes \
+         review diffs meaningful, and is where the determinism contracts are documented.";
+      scope = Under [ "lib/" ];
+      allow = [];
+    };
+  ]
+
+let find id = List.find_opt (fun m -> m.id = id) all
+
+let prefixed prefix path =
+  String.length path >= String.length prefix && String.sub path 0 (String.length prefix) = prefix
+
+let in_scope meta path =
+  match meta.scope with All -> true | Under dirs -> List.exists (fun d -> prefixed d path) dirs
+
+let allowed meta path =
+  List.find_map (fun (prefix, why) -> if prefixed prefix path then Some why else None) meta.allow
+
+(* [applies meta path] - in scope and not allowlisted. *)
+let applies meta path = in_scope meta path && allowed meta path = None
+
+let describe () =
+  String.concat "\n"
+    (List.map
+       (fun m ->
+         let scope =
+           match m.scope with All -> "everywhere" | Under dirs -> String.concat ", " dirs
+         in
+         let allow =
+           match m.allow with
+           | [] -> ""
+           | entries ->
+             "\n"
+             ^ String.concat "\n"
+                 (List.map
+                    (fun (prefix, why) -> Printf.sprintf "    allowed in %s: %s" prefix why)
+                    entries)
+         in
+         Printf.sprintf "%s (%s; scope: %s)\n    %s%s" m.id m.title scope m.rationale allow)
+       all)

@@ -1,0 +1,34 @@
+(** The project rule book: ids, severities, scopes and per-directory
+    allowlists for every rule the analyzer enforces.  See DESIGN.md
+    paragraph 10 for the prose version. *)
+
+type scope =
+  | All  (** every scanned file *)
+  | Under of string list  (** only files under these path prefixes *)
+
+type meta = {
+  id : string;  (** stable id cited in diagnostics and baselines (["R1"]..["R5"]) *)
+  title : string;
+  rationale : string;
+  scope : scope;
+  allow : (string * string) list;
+      (** (path prefix, justification) pairs exempt from the rule *)
+}
+
+val all : meta list
+val find : string -> meta option
+
+val prefixed : string -> string -> bool
+(** [prefixed prefix path]: does [path] start with [prefix]? *)
+
+val in_scope : meta -> string -> bool
+(** Is the (root-relative) path inside the rule's scope? *)
+
+val allowed : meta -> string -> string option
+(** The allowlist justification covering this path, if any. *)
+
+val applies : meta -> string -> bool
+(** [in_scope] and not [allowed]. *)
+
+val describe : unit -> string
+(** Human-readable rule book (for [lint --rules]). *)

@@ -72,6 +72,12 @@ let serve_unix engine ~path =
   Unix.bind srv (Unix.ADDR_UNIX path);
   Unix.listen srv 64;
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  (* Hashtbl iteration order is unspecified (lint rule R1); every walk
+     over a table goes through this sorted view so the serve loop treats
+     connections in a deterministic order. *)
+  let sorted_bindings tbl =
+    List.sort (fun (a, _) (b, _) -> compare a b) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
   let chunk = Bytes.create 65536 in
   let running = ref true in
   let close_conn c =
@@ -79,7 +85,7 @@ let serve_unix engine ~path =
     try Unix.close c.fd with Unix.Unix_error _ -> ()
   in
   while !running do
-    let fds = srv :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+    let fds = srv :: List.map fst (sorted_bindings conns) in
     let readable, _, _ =
       try Unix.select fds [] [] 1.0 with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
     in
@@ -124,11 +130,13 @@ let serve_unix engine ~path =
           Buffer.add_string out reply;
           Buffer.add_char out '\n')
         batch lines;
-      Hashtbl.iter (fun fd out -> write_all fd (Buffer.contents out)) outs;
+      List.iter (fun (fd, out) -> write_all fd (Buffer.contents out)) (sorted_bindings outs);
       if shutdown then running := false
     end
   done;
-  Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) conns;
+  List.iter
+    (fun (_, c) -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+    (sorted_bindings conns);
   Unix.close srv;
   if Sys.file_exists path then Sys.remove path
 

@@ -1,0 +1,12 @@
+(** Library root: the persistent certificate store.
+
+    The store's API lives directly on [Store] ({!open_} / {!find} /
+    {!put} - see {!Log} for the full documentation of the on-disk
+    format, the recovery invariant, and compaction), with the offline
+    producer exposed as {!Precompute}. *)
+
+module Precompute = Precompute
+
+include module type of struct
+  include Log
+end

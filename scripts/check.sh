@@ -27,4 +27,9 @@ fi
 dune build @all
 dune runtest
 
+# Project-invariant static analysis (DESIGN.md section 10): determinism,
+# forbidden constructs, Parallel task purity, fsync-before-rename,
+# interface coverage.  Exits nonzero on any finding.
+dune exec bin/tilesched.exe -- lint
+
 echo "all checks passed"

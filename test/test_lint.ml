@@ -1,0 +1,338 @@
+(* Tests for the static analyzer: one violating and one clean fixture
+   per rule (R1 determinism, R2 forbidden constructs, R3 task purity,
+   R4 fsync-before-rename, R5 interface coverage), the baseline
+   suppression mechanism, parse-failure handling, and an end-to-end
+   assertion that the real repo tree produces zero findings. *)
+
+let mkdir_p path =
+  let rec go acc = function
+    | [] -> ()
+    | part :: rest ->
+      let acc =
+        if acc = "" then (if part = "" then "/" else part) else Filename.concat acc part
+      in
+      (if acc <> "/" && acc <> "" && not (Sys.file_exists acc) then
+         try Unix.mkdir acc 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      go acc rest
+  in
+  go "" (String.split_on_char '/' path)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+(* Build a throwaway source tree from (relative path, contents) pairs
+   and run the analyzer over it. *)
+let with_tree files f =
+  let root = Filename.temp_dir "tilesched-lint" "" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf root)
+    (fun () ->
+      List.iter
+        (fun (rel, contents) ->
+          mkdir_p (Filename.concat root (Filename.dirname rel));
+          Out_channel.with_open_bin (Filename.concat root rel) (fun oc ->
+              Out_channel.output_string oc contents))
+        files;
+      f root)
+
+let scan files = with_tree files (fun root -> Lint.run ~root ())
+
+let by_rule rule (report : Lint.report) =
+  List.filter (fun f -> f.Lint.Finding.rule = rule) report.Lint.findings
+
+let check_rule_count msg rule expected report =
+  Alcotest.(check int) msg expected (List.length (by_rule rule report))
+
+(* ---------- R1: determinism ---------- *)
+
+let test_r1_violations () =
+  let report =
+    scan
+      [
+        ( "lib/tiling/clock.ml",
+          "let now () = Unix.gettimeofday ()\n\
+           let later () = Sys.time ()\n\
+           let seed () = Random.self_init ()\n\
+           let order t = Hashtbl.fold (fun k _ acc -> k :: acc) t []\n\
+           let visit t = Hashtbl.iter (fun _ _ -> ()) t\n" );
+        ("lib/tiling/clock.mli", "val now : unit -> float\n");
+      ]
+  in
+  check_rule_count "five R1 findings" "R1" 5 report;
+  let lines = List.map (fun f -> f.Lint.Finding.line) (by_rule "R1" report) in
+  Alcotest.(check (list int)) "source order" [ 1; 2; 3; 4; 5 ] lines
+
+let test_r1_sorted_fold_clean () =
+  let report =
+    scan
+      [
+        ( "lib/tiling/sorted.ml",
+          "let order t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])\n" );
+        ("lib/tiling/sorted.mli", "val order : ('a, 'b) Hashtbl.t -> 'a list\n");
+      ]
+  in
+  check_rule_count "sorted fold is ordered output" "R1" 0 report
+
+let test_r1_allowlist () =
+  (* Same constructs, but under lib/netsim/ where wall-clock is the
+     simulation's subject: the allowlist exempts them. *)
+  let report =
+    scan
+      [
+        ("lib/netsim/clock.ml", "let now () = Unix.gettimeofday ()\n");
+        ("lib/netsim/clock.mli", "val now : unit -> float\n");
+      ]
+  in
+  check_rule_count "allowlisted dir" "R1" 0 report
+
+(* ---------- R2: forbidden constructs ---------- *)
+
+let test_r2_violations () =
+  let report =
+    scan
+      [
+        ( "lib/zgeom/evil.ml",
+          "let f x = Obj.magic x\n\
+           let g x = Marshal.to_string x []\n\
+           let h () = exit 1\n" );
+        ("lib/zgeom/evil.mli", "val h : unit -> unit\n");
+        (* Marshal is forbidden in test/ too; exit is fine in bin/. *)
+        ("test/test_evil.ml", "let s x = Marshal.to_string x []\n");
+        ("bin/main.ml", "let () = exit 0\n");
+      ]
+  in
+  check_rule_count "three lib + one test hit" "R2" 4 report
+
+let test_r2_clean () =
+  let report =
+    scan
+      [
+        ("lib/zgeom/fine.ml", "let f x = x + 1\n");
+        ("lib/zgeom/fine.mli", "val f : int -> int\n");
+      ]
+  in
+  check_rule_count "no R2" "R2" 0 report
+
+(* ---------- R3: task purity ---------- *)
+
+let test_r3_violations () =
+  let report =
+    scan
+      [
+        ( "lib/core/fanout.ml",
+          "let total pool xs =\n\
+          \  let sum = ref 0 in\n\
+          \  Parallel.parallel_for pool ~n:10 (fun i -> sum := !sum + i);\n\
+          \  let tbl = Hashtbl.create 4 in\n\
+          \  Parallel.map pool (fun x -> Hashtbl.replace tbl x x) xs\n" );
+        ("lib/core/fanout.mli", "val total : int -> int list -> unit list\n");
+      ]
+  in
+  check_rule_count "captured ref and captured table" "R3" 2 report
+
+let test_r3_task_local_clean () =
+  let report =
+    scan
+      [
+        ( "lib/core/local.ml",
+          "let squares pool xs =\n\
+          \  Parallel.map pool\n\
+          \    (fun x ->\n\
+          \      let acc = ref 0 in\n\
+          \      for i = 1 to x do acc := !acc + i done;\n\
+          \      let seen = Hashtbl.create 4 in\n\
+          \      Hashtbl.replace seen x !acc;\n\
+          \      !acc)\n\
+          \    xs\n" );
+        ("lib/core/local.mli", "val squares : int -> int list -> int list\n");
+      ]
+  in
+  check_rule_count "task-local mutation is fine" "R3" 0 report
+
+(* ---------- R4: crash safety ---------- *)
+
+let test_r4_violation () =
+  let report =
+    scan
+      [
+        ("lib/store/publish.ml", "let publish tmp path = Sys.rename tmp path\n");
+        ("lib/store/publish.mli", "val publish : string -> string -> unit\n");
+      ]
+  in
+  check_rule_count "rename without fsync" "R4" 1 report
+
+let test_r4_clean () =
+  let report =
+    scan
+      [
+        ( "lib/store/atomic.ml",
+          "let publish oc tmp path =\n\
+          \  Unix.fsync (Unix.descr_of_out_channel oc);\n\
+          \  Sys.rename tmp path\n" );
+        ("lib/store/atomic.mli", "val publish : out_channel -> string -> string -> unit\n");
+        (* Outside lib/store the rule does not apply. *)
+        ("lib/render/swap.ml", "let swap tmp path = Sys.rename tmp path\n");
+        ("lib/render/swap.mli", "val swap : string -> string -> unit\n");
+      ]
+  in
+  check_rule_count "fsync-then-rename, and out-of-scope rename" "R4" 0 report
+
+(* ---------- R5: interface coverage ---------- *)
+
+let test_r5 () =
+  let report =
+    scan
+      [
+        ("lib/prng/naked.ml", "let x = 1\n");
+        ("lib/prng/dressed.ml", "let x = 1\n");
+        ("lib/prng/dressed.mli", "val x : int\n");
+        (* bin/ and test/ modules need no interfaces. *)
+        ("bin/main.ml", "let () = print_newline ()\n");
+        ("test/test_x.ml", "let () = print_newline ()\n");
+      ]
+  in
+  check_rule_count "exactly the naked module" "R5" 1 report;
+  match by_rule "R5" report with
+  | [ f ] -> Alcotest.(check string) "file" "lib/prng/naked.ml" f.Lint.Finding.file
+  | _ -> Alcotest.fail "expected one R5 finding"
+
+(* ---------- parse failures ---------- *)
+
+let test_parse_failure () =
+  let report = scan [ ("lib/prng/broken.ml", "let = in +++\n") ] in
+  check_rule_count "one P0 finding" "P0" 1 report
+
+(* ---------- baseline ---------- *)
+
+let test_baseline_suppression () =
+  let files =
+    [
+      ("lib/tiling/clock.ml", "let now () = Unix.gettimeofday ()\n");
+      ("lib/tiling/clock.mli", "val now : unit -> float\n");
+    ]
+  in
+  let report = scan files in
+  check_rule_count "violation present without baseline" "R1" 1 report;
+  let baseline = List.map Lint.Baseline.entry_of_finding report.Lint.findings in
+  let suppressed = with_tree files (fun root -> Lint.run ~baseline ~root ()) in
+  Alcotest.(check int) "no findings survive" 0 (List.length suppressed.Lint.findings);
+  Alcotest.(check int) "suppression is counted" 1 suppressed.Lint.suppressed
+
+let test_baseline_file_roundtrip () =
+  let entry = { Lint.Baseline.rule = "R1"; file = "lib/a.ml"; message = "msg with spaces" } in
+  let path = Filename.temp_file "tilesched-baseline" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc "# justification: the measurement is the point\n\n";
+          Out_channel.output_string oc (Lint.Baseline.to_string [ entry ]));
+      match Lint.Baseline.load path with
+      | Error msg -> Alcotest.failf "load failed: %s" msg
+      | Ok loaded ->
+        Alcotest.(check int) "one entry" 1 (Lint.Baseline.size loaded);
+        Alcotest.(check bool) "roundtrips" true (loaded = [ entry ]))
+
+let test_baseline_rejects_garbage () =
+  let path = Filename.temp_file "tilesched-baseline" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc "not a baseline\n");
+      match Lint.Baseline.load path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "expected a parse error")
+
+(* ---------- rendering ---------- *)
+
+let test_render_formats () =
+  let report =
+    scan
+      [
+        ("lib/tiling/clock.ml", "let now () = Unix.gettimeofday ()\n");
+        ("lib/tiling/clock.mli", "val now : unit -> float\n");
+      ]
+  in
+  let human = Lint.render_human report in
+  let contains ~needle hay =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "human cites file:line and rule" true
+    (contains ~needle:"lib/tiling/clock.ml:1:" human && contains ~needle:"[R1]" human);
+  let json = Lint.render_json report in
+  Alcotest.(check bool) "json carries the rule id" true (contains ~needle:{|"rule":"R1"|} json)
+
+(* ---------- the rule book ---------- *)
+
+let test_rule_book () =
+  Alcotest.(check (list string)) "stable rule ids"
+    [ "R1"; "R2"; "R3"; "R4"; "R5" ]
+    (List.map (fun m -> m.Lint.Rules.id) Lint.Rules.all);
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (m.Lint.Rules.id ^ " has a rationale")
+        true
+        (String.length m.Lint.Rules.rationale > 0))
+    Lint.Rules.all
+
+(* ---------- end-to-end: the repo tree is clean ---------- *)
+
+let test_repo_tree_clean () =
+  (* Under `dune runtest` the cwd is _build/default/test and the parent
+     holds the full copied source tree; under `dune exec` from the
+     workspace root the cwd is the tree itself. *)
+  let cwd = Sys.getcwd () in
+  let root =
+    if Sys.file_exists (Filename.concat cwd "lib") then cwd else Filename.dirname cwd
+  in
+  let report = Lint.run ~root () in
+  Alcotest.(check int)
+    (String.concat "\n" ("repo tree lints clean" :: List.map Lint.Finding.to_human report.Lint.findings))
+    0
+    (List.length report.Lint.findings);
+  Alcotest.(check bool) "scanned a real tree" true (report.Lint.files_scanned > 50)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "r1-determinism",
+        [
+          Alcotest.test_case "wall-clock and unordered iteration flagged" `Quick test_r1_violations;
+          Alcotest.test_case "sorted fold is clean" `Quick test_r1_sorted_fold_clean;
+          Alcotest.test_case "netsim allowlist" `Quick test_r1_allowlist;
+        ] );
+      ( "r2-forbidden",
+        [
+          Alcotest.test_case "Obj.magic, Marshal, library exit" `Quick test_r2_violations;
+          Alcotest.test_case "clean module" `Quick test_r2_clean;
+        ] );
+      ( "r3-task-purity",
+        [
+          Alcotest.test_case "captured mutation flagged" `Quick test_r3_violations;
+          Alcotest.test_case "task-local mutation clean" `Quick test_r3_task_local_clean;
+        ] );
+      ( "r4-crash-safety",
+        [
+          Alcotest.test_case "rename without fsync" `Quick test_r4_violation;
+          Alcotest.test_case "fsync-then-rename clean" `Quick test_r4_clean;
+        ] );
+      ( "r5-interfaces",
+        [ Alcotest.test_case "missing .mli flagged, bin/test exempt" `Quick test_r5 ] );
+      ( "driver",
+        [
+          Alcotest.test_case "parse failure becomes P0" `Quick test_parse_failure;
+          Alcotest.test_case "baseline suppresses and counts" `Quick test_baseline_suppression;
+          Alcotest.test_case "baseline file roundtrip" `Quick test_baseline_file_roundtrip;
+          Alcotest.test_case "baseline rejects garbage" `Quick test_baseline_rejects_garbage;
+          Alcotest.test_case "human and json rendering" `Quick test_render_formats;
+          Alcotest.test_case "rule book is complete" `Quick test_rule_book;
+        ] );
+      ("end-to-end", [ Alcotest.test_case "repo tree lints clean" `Quick test_repo_tree_clean ]);
+    ]

@@ -36,10 +36,10 @@ let test_filter_concat_map () =
 let test_jobs_one_inline () =
   Parallel.with_pool ~jobs:1 (fun pool ->
       Alcotest.(check int) "jobs" 1 (Parallel.jobs pool);
-      let witness = ref [] in
-      Parallel.parallel_for pool ~n:5 (fun i -> witness := i :: !witness);
+      let witness = Atomic.make [] in
+      Parallel.parallel_for pool ~n:5 (fun i -> Atomic.set witness (i :: Atomic.get witness));
       (* jobs = 1 runs inline on this domain, so the order is the loop's. *)
-      Alcotest.(check (list int)) "inline order" [ 4; 3; 2; 1; 0 ] !witness)
+      Alcotest.(check (list int)) "inline order" [ 4; 3; 2; 1; 0 ] (Atomic.get witness))
 
 exception Boom of int
 
