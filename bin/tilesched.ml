@@ -662,10 +662,76 @@ let lint_cmd =
           interface coverage (R5). Exits 1 if any finding survives the baseline.")
     Term.(term_result (const run $ format_arg $ baseline_arg $ root_arg $ rules_arg))
 
+let bench_cmd =
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Write the results as a JSON array of {name, ns_per_call} rows to PATH.")
+  in
+  let validate_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "validate" ] ~docv:"PATH"
+          ~doc:
+            "Do not benchmark; instead schema-check an existing JSON artifact at PATH (as CI does \
+             with BENCH_5.json) and exit.")
+  in
+  let quota_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "quota" ] ~docv:"SECS"
+          ~doc:"Bechamel time budget per benchmark, in seconds. Small values make a fast smoke run.")
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let run () json validate quota =
+    match validate with
+    | Some path -> (
+      match Microbench.validate_json (read_file path) with
+      | Ok rows ->
+        Printf.printf "%s: %d rows, schema ok\n" path (List.length rows);
+        Ok ()
+      | Error msg -> Error (`Msg (Printf.sprintf "%s: %s" path msg)))
+    | None ->
+      if quota <= 0.0 then Error (`Msg "quota must be positive")
+      else begin
+        let rows = Microbench.run ~quota () in
+        Printf.printf "%-42s %16s\n" "benchmark" "ns/call";
+        List.iter
+          (fun r -> Printf.printf "%-42s %16.1f\n" r.Microbench.name r.Microbench.ns_per_call)
+          rows;
+        match json with
+        | None -> Ok ()
+        | Some path -> (
+          let out = Microbench.to_json rows in
+          match Microbench.validate_json out with
+          | Error msg -> Error (`Msg ("refusing to write invalid artifact: " ^ msg))
+          | Ok _ ->
+            let oc = open_out path in
+            output_string oc out;
+            close_out oc;
+            Printf.printf "\n[wrote %s: %d rows, schema-validated]\n" path (List.length rows);
+            Ok ())
+      end
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the Bechamel micro-benchmark suite (including the three torus exact-cover engines) \
+          and optionally emit or validate the machine-readable BENCH_5.json artifact.")
+    Term.(term_result (const run $ jobs_term $ json_arg $ validate_arg $ quota_arg))
+
 let () =
   let doc = "Collision-free sensor scheduling by lattice tilings (Klappenecker-Lee-Welch 2008)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "tilesched" ~version:"1.0.0" ~doc)
           [ figure_cmd; exact_cmd; schedule_cmd; color_cmd; simulate_cmd; export_cmd; sync_cmd;
-            certify_cmd; serve_cmd; loadgen_cmd; precompute_cmd; lint_cmd ]))
+            certify_cmd; serve_cmd; loadgen_cmd; precompute_cmd; bench_cmd; lint_cmd ]))

@@ -1,0 +1,270 @@
+open Lattice
+
+type row = { name : string; ns_per_call : float }
+
+let staircase k =
+  (* Exact staircase polyomino with ~4k+2 boundary letters. *)
+  let cells =
+    List.concat_map
+      (fun i -> [ Zgeom.Vec.make2 i i; Zgeom.Vec.make2 i (i + 1) ])
+      (List.init k Fun.id)
+    @ [ Zgeom.Vec.make2 k k ]
+  in
+  Prototile.of_cells_anchored cells
+
+let required =
+  [
+    "torus-all-backtracking";
+    "torus-all-dlx";
+    "torus-all-bitmask";
+    "torus-mat-backtracking";
+    "torus-mat-dlx";
+    "torus-mat-bitmask";
+  ]
+
+let run ?(quota = 0.5) () =
+  if quota <= 0.0 then invalid_arg "Microbench.run: quota must be positive";
+  let open Bechamel in
+  let cheb2 = Prototile.chebyshev_ball ~dim:2 2 in
+  let cheb2_tiling = Option.get (Tiling.Search.find_tiling cheb2) in
+  let cheb2_sched = Core.Schedule.of_tiling cheb2_tiling in
+  let cheb1 = Prototile.chebyshev_ball ~dim:2 1 in
+  let cheb1_tiling = Option.get (Tiling.Search.find_tiling cheb1) in
+  let staircase_word = Polyomino.boundary_word (staircase 20) in
+  let period = Tiling.Single.period cheb2_tiling in
+  let probe = Zgeom.Vec.make2 123 (-456) in
+  let sz_period = Sublattice.of_basis [| [| 4; 0 |]; [| 0; 4 |] |] in
+  let s_tet = Prototile.tetromino `S and z_tet = Prototile.tetromino `Z in
+  (* EXP-P2 workload: S/Z tetrominoes on the 4x8 torus, all 1024
+     solutions, sequentially (jobs = 1).  [torus-all-*] is pure
+     enumeration through {!Tiling.Search.count_torus_covers} - the
+     engine comparison proper; [torus-mat-*] is the end-to-end
+     materializing search, whose engines share the [Multi.t]
+     construction and retention cost (the Amdahl floor EXP-P2
+     documents). *)
+  let sz48_period = Sublattice.of_basis [| [| 4; 0 |]; [| 0; 8 |] |] in
+  let seq_pool = Parallel.create ~jobs:1 in
+  let torus_all engine () =
+    Tiling.Search.count_torus_covers ~period:sz48_period ~prototiles:[ s_tet; z_tet ] ~engine
+      ~pool:seq_pool ()
+  in
+  let torus_mat engine () =
+    Tiling.Search.cover_torus ~period:sz48_period ~prototiles:[ s_tet; z_tet ]
+      ~max_solutions:max_int ~engine ~pool:seq_pool ()
+  in
+  let g8, _ = Coloring.Graph.lattice_window ~prototile:cheb1 ~width:8 ~height:8 in
+  let sim_cfg =
+    { (Netsim.Sim.default_config
+         ~mac:(Netsim.Mac.lattice_tdma (Core.Schedule.of_tiling cheb1_tiling)))
+      with width = 10; height = 10; prototile = cheb1; duration = 100 }
+  in
+  let tests =
+    Test.make_grouped ~name:"tilesched"
+      [
+        Test.make ~name:"bn-exactness-staircase20"
+          (Staged.stage (fun () -> Boundary_word.find_factorization staircase_word));
+        Test.make ~name:"boundary-word-cheb2"
+          (Staged.stage (fun () -> Polyomino.boundary_word cheb2));
+        Test.make ~name:"lattice-tilings-cheb2"
+          (Staged.stage (fun () -> Tiling.Search.lattice_tilings cheb2));
+        Test.make ~name:"schedule-of-tiling-cheb2"
+          (Staged.stage (fun () -> Core.Schedule.of_tiling cheb2_tiling));
+        Test.make ~name:"slot-at" (Staged.stage (fun () -> Core.Schedule.slot_at cheb2_sched probe));
+        Test.make ~name:"coset-reduce" (Staged.stage (fun () -> Sublattice.reduce period probe));
+        Test.make ~name:"collision-check-cheb1"
+          (Staged.stage (fun () ->
+               Core.Collision.is_collision_free_theorem1 cheb1_tiling
+                 (Core.Schedule.of_tiling cheb1_tiling)));
+        Test.make ~name:"torus-search-SZ-first"
+          (Staged.stage (fun () ->
+               Tiling.Search.cover_torus ~period:sz_period ~prototiles:[ s_tet; z_tet ]
+                 ~max_solutions:1 ()));
+        Test.make ~name:"torus-all-backtracking" (Staged.stage (torus_all `Backtracking));
+        Test.make ~name:"torus-all-dlx" (Staged.stage (torus_all `Dlx));
+        Test.make ~name:"torus-all-bitmask" (Staged.stage (torus_all `Bitmask));
+        Test.make ~name:"torus-mat-backtracking" (Staged.stage (torus_mat `Backtracking));
+        Test.make ~name:"torus-mat-dlx" (Staged.stage (torus_mat `Dlx));
+        Test.make ~name:"torus-mat-bitmask" (Staged.stage (torus_mat `Bitmask));
+        Test.make ~name:"certificate-check-cheb1"
+          (Staged.stage
+             (let cert = Core.Certificate.build cheb1_tiling in
+              fun () -> Core.Certificate.check cert));
+        Test.make ~name:"dsatur-8x8" (Staged.stage (fun () -> Coloring.Dsatur.color g8));
+        Test.make ~name:"sim-100-slots-10x10" (Staged.stage (fun () -> Netsim.Sim.run sim_cfg));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    List.sort Stdlib.compare (Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [])
+  in
+  List.filter_map
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some (est :: _) -> Some { name; ns_per_call = est }
+      | _ -> None)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* JSON artifact                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n  {\"name\": \"%s\", \"ns_per_call\": %.3f}" (escape r.name)
+           r.ns_per_call))
+    rows;
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+(* A strict recursive-descent parser for exactly the shape [to_json]
+   emits (plus whitespace and key-order freedom), hand-rolled because
+   the dependency budget has no JSON library.  Strictness is the point:
+   the artifact is machine-diffed, so anything unexpected is an error,
+   not something to skip over. *)
+exception Bad of string
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let validate_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let expect c =
+    skip_ws ();
+    if peek () = Some c then incr pos else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' ->
+        incr pos;
+        Buffer.contents buf
+      | '\\' ->
+        incr pos;
+        (if !pos >= n then fail "truncated escape"
+         else
+           match s.[!pos] with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 't' -> Buffer.add_char buf '\t'
+           | _ -> fail "unsupported escape");
+        incr pos;
+        go ()
+      | c when Char.code c < 0x20 -> fail "control character in string"
+      | c ->
+        Buffer.add_char buf c;
+        incr pos;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    skip_ws ();
+    let start = !pos in
+    let numeric = function '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false in
+    while !pos < n && numeric s.[!pos] do
+      incr pos
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let parse_row () =
+    expect '{';
+    let name = ref None and ns = ref None in
+    let parse_field () =
+      skip_ws ();
+      let key = parse_string () in
+      expect ':';
+      match key with
+      | "name" -> (
+        match !name with
+        | Some _ -> fail "duplicate \"name\" key"
+        | None ->
+          skip_ws ();
+          name := Some (parse_string ()))
+      | "ns_per_call" -> (
+        match !ns with
+        | Some _ -> fail "duplicate \"ns_per_call\" key"
+        | None ->
+          let v = parse_number () in
+          if not (v >= 0.0) then fail "ns_per_call must be a non-negative number";
+          ns := Some v)
+      | k -> fail (Printf.sprintf "unexpected key %S" k)
+    in
+    parse_field ();
+    expect ',';
+    parse_field ();
+    expect '}';
+    match (!name, !ns) with
+    | Some name, Some ns_per_call -> { name; ns_per_call }
+    | _ -> fail "row must have both \"name\" and \"ns_per_call\""
+  in
+  try
+    expect '[';
+    skip_ws ();
+    let rows =
+      if peek () = Some ']' then begin
+        incr pos;
+        []
+      end
+      else begin
+        let acc = ref [ parse_row () ] in
+        let continue = ref true in
+        while !continue do
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            acc := parse_row () :: !acc
+          | _ -> continue := false
+        done;
+        expect ']';
+        List.rev !acc
+      end
+    in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage after array";
+    let missing =
+      List.filter
+        (fun req -> not (List.exists (fun r -> contains_substring r.name req) rows))
+        required
+    in
+    if missing <> [] then Error ("missing required benchmark rows: " ^ String.concat ", " missing)
+    else Ok rows
+  with Bad msg -> Error msg

@@ -1,0 +1,47 @@
+(** Bechamel micro-benchmarks of the core machinery, shared between the
+    experiment harness ([bench/main.exe]) and the [tilesched bench]
+    subcommand.
+
+    The suite pins one workload per hot subsystem (boundary-word
+    factorization, torus exact cover under each {!Tiling.Search.engine},
+    schedule lookup, coloring, simulation, ...) and reports an OLS
+    estimate of nanoseconds per call.  Rows serialize to the
+    [BENCH_5.json] artifact - a JSON array of
+    [{"name": ..., "ns_per_call": ...}] objects - which CI regenerates,
+    schema-checks with {!validate_json} and uploads, so engine
+    regressions are visible as a diffable time series. *)
+
+type row = { name : string; ns_per_call : float }
+
+val staircase : int -> Lattice.Prototile.t
+(** Exact staircase polyomino with ~4k+2 boundary letters - the standard
+    scaling family for the Beauquier-Nivat decision (also used by the
+    EXP-S3 and EXP-A2 experiment sections). *)
+
+val run : ?quota:float -> unit -> row list
+(** Run the whole suite and return one row per benchmark, sorted by
+    name.  [quota] is the Bechamel time budget per benchmark in seconds
+    (default 0.5); smaller quotas trade estimate quality for wall time,
+    which is what the CI smoke run wants.  Raises [Invalid_argument] if
+    [quota <= 0]. *)
+
+val required : string list
+(** Substrings that {!validate_json} demands among row names: the three
+    torus-cover engines on the EXP-P2 workload (S/Z tetrominoes on the
+    4x8 torus, all 1024 solutions, jobs = 1), each both as pure
+    enumeration ([torus-all-*], {!Tiling.Search.count_torus_covers}) and
+    end-to-end materialization ([torus-mat-*]), so the artifact always
+    carries the backtracking/DLX/bitmask comparison this suite exists to
+    track. *)
+
+val to_json : row list -> string
+(** Serialize rows as a JSON array of two-key objects, one per line.
+    Output round-trips through {!validate_json} provided the rows
+    include {!required}. *)
+
+val validate_json : string -> (row list, string) result
+(** Strict schema check for the [BENCH_5.json] artifact: a single JSON
+    array of objects with exactly the keys ["name"] (string) and
+    ["ns_per_call"] (non-negative number) in either order, no trailing
+    garbage, and every {!required} substring present among the names.
+    Returns the parsed rows, or a message locating the first problem. *)

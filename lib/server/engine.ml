@@ -18,6 +18,7 @@ type t = {
   queue_bound : int;
   deadline : float option;
   torus_factors : int list;
+  search_engine : Tiling.Search.engine;
   pool : Parallel.pool;
   mutable served : int;
   mutable overloaded : int;
@@ -29,12 +30,12 @@ type t = {
 }
 
 let create ?(cache_capacity = 256) ?(queue_bound = 512) ?deadline
-    ?(torus_factors = [ 1; 2; 3; 4 ]) ?pool ?store () =
+    ?(torus_factors = [ 1; 2; 3; 4 ]) ?(search_engine = `Bitmask) ?pool ?store () =
   if queue_bound < 1 then invalid_arg "Engine.create: queue_bound must be >= 1";
   let pool = match pool with Some p -> p | None -> Parallel.default () in
   { cache = Cache.create ~capacity:cache_capacity; store; queue_bound; deadline;
-    torus_factors; pool; served = 0; overloaded = 0; errors = 0; searches = 0;
-    coalesced = 0; timeouts = 0; store_hits = 0 }
+    torus_factors; search_engine; pool; served = 0; overloaded = 0; errors = 0;
+    searches = 0; coalesced = 0; timeouts = 0; store_hits = 0 }
 
 let queue_bound t = t.queue_bound
 
@@ -104,7 +105,7 @@ let search t tile =
                 if !found = None then begin
                   check ();
                   Tiling.Search.cover_torus ~period:lam ~prototiles:[ tile ]
-                    ~max_solutions:1 ()
+                    ~max_solutions:1 ~engine:t.search_engine ()
                   |> List.iter (fun mt ->
                          if !found = None then
                            match Tiling.Multi.pieces mt with

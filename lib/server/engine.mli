@@ -45,6 +45,8 @@ val create :
   (* seconds per search; default unbounded *)
   ?torus_factors:int list ->
   (* as {!Tiling.Search.find_tiling} *)
+  ?search_engine:Tiling.Search.engine ->
+  (* exact-cover kernel for torus searches; default [`Bitmask] *)
   ?pool:Parallel.pool ->
   (* default {!Parallel.default} *)
   ?store:Store.t ->

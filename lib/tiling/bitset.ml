@@ -1,0 +1,145 @@
+type t = { n : int; w : int array }
+
+let bpw = Sys.int_size
+
+let nwords n = if n = 0 then 0 else ((n - 1) / bpw) + 1
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative width";
+  { n; w = Array.make (nwords n) 0 }
+
+(* Mask of the bits the last word actually uses; keeping the unused top
+   bits zero is the representation invariant everything else relies on. *)
+let last_mask n = match n mod bpw with 0 -> -1 | r -> (1 lsl r) - 1
+
+let full n =
+  let t = create n in
+  let k = Array.length t.w in
+  if k > 0 then begin
+    Array.fill t.w 0 k (-1);
+    t.w.(k - 1) <- t.w.(k - 1) land last_mask n
+  end;
+  t
+
+let length t = t.n
+
+let copy t = { n = t.n; w = Array.copy t.w }
+
+let same_width a b op = if a.n <> b.n then invalid_arg ("Bitset." ^ op ^ ": width mismatch")
+
+let blit ~src ~dst =
+  same_width src dst "blit";
+  Array.blit src.w 0 dst.w 0 (Array.length src.w)
+
+let check t i op = if i < 0 || i >= t.n then invalid_arg ("Bitset." ^ op ^ ": out of range")
+
+let set t i =
+  check t i "set";
+  t.w.(i / bpw) <- t.w.(i / bpw) lor (1 lsl (i mod bpw))
+
+let reset t i =
+  check t i "reset";
+  t.w.(i / bpw) <- t.w.(i / bpw) land lnot (1 lsl (i mod bpw))
+
+let mem t i =
+  check t i "mem";
+  t.w.(i / bpw) land (1 lsl (i mod bpw)) <> 0
+
+let is_empty t =
+  let k = Array.length t.w in
+  let rec go i = i >= k || (t.w.(i) = 0 && go (i + 1)) in
+  go 0
+
+(* SWAR popcount.  OCaml ints are 63 bits and literals above [max_int]
+   are rejected, so the top bit is counted separately and the classic
+   64-bit constants are trimmed to the 62 remaining bits (bytewise sums
+   stay under 128, so the multiply-extract loses no carries). *)
+let popcount_word x =
+  let top = x lsr 62 in
+  let x = x land 0x3FFFFFFFFFFFFFFF in
+  let x = x - ((x lsr 1) land 0x1555555555555555) in
+  let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  top + ((x * 0x0101010101010101) lsr 56)
+
+let popcount t =
+  let acc = ref 0 in
+  for i = 0 to Array.length t.w - 1 do
+    acc := !acc + popcount_word t.w.(i)
+  done;
+  !acc
+
+let equal a b =
+  same_width a b "equal";
+  let k = Array.length a.w in
+  let rec go i = i >= k || (a.w.(i) = b.w.(i) && go (i + 1)) in
+  go 0
+
+let union a b =
+  same_width a b "union";
+  for i = 0 to Array.length a.w - 1 do
+    a.w.(i) <- a.w.(i) lor b.w.(i)
+  done
+
+let diff a b =
+  same_width a b "diff";
+  for i = 0 to Array.length a.w - 1 do
+    a.w.(i) <- a.w.(i) land lnot b.w.(i)
+  done
+
+let inter a b =
+  same_width a b "inter";
+  for i = 0 to Array.length a.w - 1 do
+    a.w.(i) <- a.w.(i) land b.w.(i)
+  done
+
+let inter_into ~dst a b =
+  same_width dst a "inter_into";
+  same_width a b "inter_into";
+  for i = 0 to Array.length a.w - 1 do
+    dst.w.(i) <- a.w.(i) land b.w.(i)
+  done
+
+(* [popcount (inter a b)] without materializing the intersection. *)
+let inter_popcount a b =
+  same_width a b "inter_popcount";
+  let acc = ref 0 in
+  for i = 0 to Array.length a.w - 1 do
+    acc := !acc + popcount_word (Array.unsafe_get a.w i land Array.unsafe_get b.w i)
+  done;
+  !acc
+
+let subset a b =
+  same_width a b "subset";
+  let k = Array.length a.w in
+  let rec go i = i >= k || (a.w.(i) land lnot b.w.(i) = 0 && go (i + 1)) in
+  go 0
+
+let disjoint a b =
+  same_width a b "disjoint";
+  let k = Array.length a.w in
+  let rec go i = i >= k || (a.w.(i) land b.w.(i) = 0 && go (i + 1)) in
+  go 0
+
+let iter f t =
+  for i = 0 to Array.length t.w - 1 do
+    let base = i * bpw in
+    let w = ref t.w.(i) in
+    while !w <> 0 do
+      let low = !w land - !w in
+      f (base + popcount_word (low - 1));
+      w := !w land (!w - 1)
+    done
+  done
+
+let unsafe_words t = t.w
+
+let of_list n elts =
+  let t = create n in
+  List.iter (fun i -> set t i) elts;
+  t
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) t;
+  List.rev !acc

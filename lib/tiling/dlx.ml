@@ -8,6 +8,7 @@ type problem = {
   col : int array;  (* node -> column header index *)
   size : int array;  (* column header -> rows in the column *)
   row_of : int array;  (* node -> subset index, -1 for headers/root *)
+  row_first : int array;  (* subset index -> its first node, -1 if empty *)
   root : int;
 }
 
@@ -23,6 +24,7 @@ let create ~universe subsets =
   let col = Array.make total 0 in
   let size = Array.make (universe + 1) 0 in
   let row_of = Array.make total (-1) in
+  let row_first = Array.make (List.length subsets) (-1) in
   let root = 0 in
   (* Circular header list root <-> 1 <-> ... <-> universe. *)
   for h = 0 to universe do
@@ -58,9 +60,10 @@ let create ~universe subsets =
             right.(left.(!first)) <- node;
             left.(!first) <- node
           end)
-        subset)
+        subset;
+      row_first.(row) <- !first)
     subsets;
-  { universe; num_nodes = total; left; right; up; down; col; size; row_of; root }
+  { universe; num_nodes = total; left; right; up; down; col; size; row_of; row_first; root }
 
 let cover p c =
   p.right.(p.left.(c)) <- p.right.(c);
@@ -92,27 +95,20 @@ let uncover p c =
   p.right.(p.left.(c)) <- c;
   p.left.(p.right.(c)) <- c
 
-(* Nodes of row [r] in insertion (element) order. *)
+(* Nodes of row [r] in insertion (element) order; O(row length) via the
+   first-node index recorded at construction. *)
 let row_nodes p r =
-  let first = ref (-1) in
-  (try
-     for node = p.universe + 1 to p.num_nodes - 1 do
-       if p.row_of.(node) = r then begin
-         first := node;
-         raise Exit
-       end
-     done
-   with Exit -> ());
-  if !first < 0 then invalid_arg "Dlx: forced row is empty or out of range";
-  let acc = ref [ !first ] in
-  let j = ref p.right.(!first) in
-  while !j <> !first do
+  let first = if r < 0 || r >= Array.length p.row_first then -1 else p.row_first.(r) in
+  if first < 0 then invalid_arg "Dlx: forced row is empty or out of range";
+  let acc = ref [ first ] in
+  let j = ref p.right.(first) in
+  while !j <> first do
     acc := !j :: !acc;
     j := p.right.(!j)
   done;
   List.rev !acc
 
-let solve ?(max_solutions = max_int) ?(forced = []) p =
+let solve ?(max_solutions = max_int) ?(keep = fun _ -> true) ?(forced = []) p =
   let solutions = ref [] in
   let count = ref 0 in
   let chosen = ref [] in
@@ -131,8 +127,13 @@ let solve ?(max_solutions = max_int) ?(forced = []) p =
   let rec search () =
     if !count >= max_solutions then ()
     else if p.right.(p.root) = p.root then begin
-      solutions := List.sort Stdlib.compare !chosen :: !solutions;
-      incr count
+      (* Only kept solutions are recorded or counted, so a filtered
+         search early-stops at [max_solutions] kept ones. *)
+      let sol = List.sort Stdlib.compare !chosen in
+      if keep sol then begin
+        solutions := sol :: !solutions;
+        incr count
+      end
     end
     else begin
       (* Smallest column (Knuth's S heuristic). *)

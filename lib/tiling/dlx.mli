@@ -9,20 +9,29 @@
     This is the classic doubly-linked-list formulation: columns are
     universe elements, rows are subsets, and covering/uncovering a column
     splices nodes out of and back into circular lists in O(1) - which
-    makes backtracking cheap.  {!Search.cover_torus} can run on either
-    this engine or a simpler bitmap backtracker; tests check they agree
-    and the benchmark compares them. *)
+    makes backtracking cheap.  {!Search.cover_torus} uses this engine as
+    a differential oracle next to its list backtracker and the default
+    {!Bitset}-based kernel; tests check all three agree exactly and the
+    benchmark compares them. *)
 
 type problem
 
 val create : universe:int -> int list list -> problem
 (** [create ~universe subsets]: subsets are lists of element ids in
-    [\[0, universe)]. Duplicate elements within a subset are invalid. *)
+    [\[0, universe)]. Duplicate elements within a subset are invalid.
+    Each row's first node is indexed during construction, so forcing a
+    row costs O(row length), not a scan of the whole node pool. *)
 
-val solve : ?max_solutions:int -> ?forced:int list -> problem -> int list list
+val solve :
+  ?max_solutions:int -> ?keep:(int list -> bool) -> ?forced:int list -> problem -> int list list
 (** Solutions as lists of subset indices (in the order given to
     {!create}), each sorted ascending; at most [max_solutions] (default
     [max_int]). Deterministic order.
+
+    [keep] (default: accept everything) filters during the search: only
+    solutions it accepts are recorded or counted against
+    [max_solutions], so a filtered search stops as soon as enough
+    acceptable solutions have been enumerated.
 
     [forced] pre-selects subsets before the search starts: their columns
     are covered exactly as Algorithm X would after choosing them, so the

@@ -6,8 +6,13 @@ type piece = { tile : Prototile.t; piece_offsets : Vec.t list }
 type t = {
   period : Sublattice.t;
   pieces : piece list;
-  (* cover.(coset_id v) = (piece index, offset, cell index within piece) *)
-  cover : (int * Vec.t * int) array;
+  (* Cover data per coset id, in three parallel arrays - piece index,
+     translation offset, cell index within the piece - so the search
+     engines' constructor fills them with plain int and pointer writes,
+     no per-cell tuple allocation. *)
+  cover_piece : int array;
+  cover_off : Vec.t array;
+  cover_cell : int array;
 }
 
 let make ~period pieces =
@@ -60,7 +65,13 @@ let make ~period pieces =
         pieces;
       match !clash with
       | Some msg -> Error msg
-      | None -> Ok { period; pieces; cover = Array.map Option.get cover }
+      | None ->
+        Ok
+          { period;
+            pieces;
+            cover_piece = Array.map (fun s -> let k, _, _ = Option.get s in k) cover;
+            cover_off = Array.map (fun s -> let _, o, _ = Option.get s in o) cover;
+            cover_cell = Array.map (fun s -> let _, _, ci = Option.get s in ci) cover }
     end
   end
 
@@ -68,6 +79,59 @@ let make_exn ~period pieces =
   match make ~period pieces with
   | Ok t -> t
   | Error msg -> invalid_arg ("Tiling.Multi.make: " ^ msg)
+
+(* The search engines' constructor: coset ids arrive precomputed, so
+   exactly-once coverage is checked with array writes alone.  Offsets
+   are required to be reduced already (they come from
+   [Sublattice.cosets]); sorting them through [Vec.Set] keeps the
+   result structurally identical to [make]'s. *)
+let of_search_cover ~period pieces =
+  let idx = Sublattice.index period in
+  match pieces with
+  | [] -> invalid_arg "Tiling.Multi.of_search_cover: no pieces"
+  | (_, ((o0, _) :: _)) :: _ ->
+    (* [-1] marks an uncovered slot; the sentinel offset is never read. *)
+    let cover_piece = Array.make idx (-1) in
+    let cover_off = Array.make idx o0 in
+    let cover_cell = Array.make idx 0 in
+    let filled = ref 0 in
+    (* Direct recursion, not [List.iter] closures: this runs once per
+       solution of an all-solutions search (EXP-P2). *)
+    let rec fill_ids k o ci = function
+      | [] -> true
+      | id :: ids ->
+        if id < 0 || id >= idx || cover_piece.(id) >= 0 then false
+        else begin
+          cover_piece.(id) <- k;
+          cover_off.(id) <- o;
+          cover_cell.(id) <- ci;
+          incr filled;
+          fill_ids k o (ci + 1) ids
+        end
+    in
+    let rec fill_placements k = function
+      | [] -> true
+      | (o, ids) :: tl -> fill_ids k o 0 ids && fill_placements k tl
+    in
+    let rec fill_pieces k = function
+      | [] -> true
+      | (_, []) :: _ -> false
+      | (_, placements) :: tl -> fill_placements k placements && fill_pieces (k + 1) tl
+    in
+    let ok = fill_pieces 0 pieces in
+    if not (ok && !filled = idx) then
+      invalid_arg "Tiling.Multi.of_search_cover: not an exact cover"
+    else
+      let pieces =
+        List.map
+          (fun (tile, placements) ->
+            (* = [Vec.Set.elements (Vec.Set.of_list ...)], since
+               [Vec.Set]'s order is [Vec.compare]. *)
+            { tile; piece_offsets = List.sort_uniq Vec.compare (List.map fst placements) })
+          pieces
+      in
+      { period; pieces; cover_piece; cover_off; cover_cell }
+  | (_, []) :: _ -> invalid_arg "Tiling.Multi.of_search_cover: not an exact cover"
 
 let of_single s =
   make_exn ~period:(Single.period s)
@@ -91,7 +155,9 @@ let union_cells t =
   |> Vec.Set.elements
 
 let tile_of t v =
-  let k, _, ci = t.cover.(Sublattice.coset_id t.period v) in
+  let id = Sublattice.coset_id t.period v in
+  let k = t.cover_piece.(id) in
+  let ci = t.cover_cell.(id) in
   let p = List.nth t.pieces k in
   let n = List.nth (Prototile.cells p.tile) ci in
   (k, Vec.sub v n, n)

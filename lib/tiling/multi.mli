@@ -21,6 +21,23 @@ val make : period:Lattice.Sublattice.t -> piece list -> (t, string) result
 
 val make_exn : period:Lattice.Sublattice.t -> piece list -> t
 
+val of_search_cover :
+  period:Lattice.Sublattice.t ->
+  (Lattice.Prototile.t * (Zgeom.Vec.t * int list) list) list ->
+  t
+(** Fast-path constructor for the exact-cover engines of {!Search}: each
+    prototile comes with its placements as [(offset, coset ids)] pairs,
+    the ids being [Sublattice.coset_id period (offset + cell)] in
+    [Prototile.cells] order - which the search has already computed, so
+    no lattice arithmetic is redone here.  Exactly-once coverage is
+    still verified, with O(index) array writes; raises
+    [Invalid_argument] if the placements are not an exact cover, if ids
+    are out of range, or if no prototile has a placement.  Offsets must
+    be reduced representatives ({!Lattice.Sublattice.reduce} fixpoints,
+    e.g. drawn from {!Lattice.Sublattice.cosets}); prototiles without
+    placements must be omitted.  The result is structurally identical to
+    what {!make} returns for the same data. *)
+
 val of_single : Single.t -> t
 
 val period : t -> Lattice.Sublattice.t

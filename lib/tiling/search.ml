@@ -34,10 +34,49 @@ let find_lattice_tiling p =
 
 type placement = { piece : int; anchor : Vec.t; covers : int list }
 
+type engine = [ `Backtracking | `Bitmask | `Dlx ]
+
 let rec take n = function [] -> [] | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
 
-let cover_torus ~period ~prototiles ?(max_solutions = 64) ?(engine = `Backtracking) ?pool () =
-  let pool = match pool with Some pl -> pl | None -> Parallel.default () in
+(* Mutable search state of the [`Bitmask] engine; one per task, created
+   inside the task, so the Parallel closures stay pure (lint R3).
+   Invariants between calls:
+   - [live] = placements compatible with everything placed so far, i.e.
+     exactly the placements the list engine's [free] test would accept;
+   - [counts.(c)] = number of live placements covering cell [c];
+   - [cell_next]/[cell_prev] = doubly-linked list of the uncovered
+     cells in ascending cell order, with sentinel node [idx], so cell
+     selection walks only uncovered cells.  Unlinking keeps the
+     relative order of the remaining cells, and [unplace] relinks in
+     reverse unlink order, so the list is restored exactly (the classic
+     dancing-links discipline);
+   - [undo.(sp_at.(d) .. sp_at.(d+1) - 1)] = the placements killed by the
+     [place] at depth [d], in kill order, so [unplace] restores
+     [live]/[counts] exactly (a placement conflicting with two placed
+     ones is recorded by the first kill only).  Each placement dies at
+     most once per root-to-leaf path, so [n_pl] undo slots suffice;
+   - [chosen.(0 .. depth-1)] = the placements placed so far, in
+     chronological order (callers write [chosen.(depth)] just before
+     each [place]), so recording a solution is one [Array.sub]. *)
+type mask_state = {
+  live : Bitset.t;
+  counts : int array;
+  cell_next : int array;
+  cell_prev : int array;
+  undo : int array;
+  sp_at : int array;
+  chosen : int array;
+  mutable sp : int;
+  mutable depth : int;
+}
+
+(* Shared implementation of [cover_torus] (collect = true: materialize
+   [Multi.t] solutions, truncated to [max_solutions]) and
+   [count_torus_covers] (collect = false: traverse the same tree, same
+   order, but only count - no per-solution allocation at all when [keep]
+   is absent).  Engine runners return [(raw solutions, count)]; in
+   counting mode the list stays empty. *)
+let torus_run ~period ~prototiles ~max_solutions ~engine ~keep ~pool ~collect =
   let idx = Sublattice.index period in
   let anchors = Sublattice.cosets period in
   let placements =
@@ -55,21 +94,77 @@ let cover_torus ~period ~prototiles ?(max_solutions = 64) ?(engine = `Backtracki
              anchors)
          prototiles)
   in
-  (* by_cell.(c) = placements covering cell c *)
+  let placement_arr = Array.of_list placements in
+  let n_pl = Array.length placement_arr in
+  (* Raw solutions are arrays of placement indices in traversal
+     (chronological) order - one contiguous allocation per solution,
+     where cons-list recording cost as much as the whole search on
+     solution-dense workloads (EXP-P2).  The solver guarantees an exact
+     cover and has each placement's coset ids at hand, so conversion
+     goes through [Multi.of_search_cover] - coverage is re-checked with
+     array writes, but no coset arithmetic is redone.  [pl_pair] holds
+     each placement's [(anchor, covers)] pair preallocated, so building
+     the constructor's input just conses existing pairs. *)
+  let pl_pair = Array.map (fun pl -> (pl.anchor, pl.covers)) placement_arr in
+  let pl_piece = Array.map (fun pl -> pl.piece) placement_arr in
+  let to_multi sol =
+    let n = Array.length sol in
+    let rec mine k i =
+      if i >= n then []
+      else
+        let q = Array.unsafe_get sol i in
+        if Array.unsafe_get pl_piece q = k then Array.unsafe_get pl_pair q :: mine k (i + 1)
+        else mine k (i + 1)
+    in
+    let rec per_piece k = function
+      | [] -> []
+      | p :: ps -> (
+        match mine k 0 with
+        | [] -> per_piece (k + 1) ps
+        | placements -> (p, placements) :: per_piece (k + 1) ps)
+    in
+    Multi.of_search_cover ~period (per_piece 0 prototiles)
+  in
+  (* Only solutions passing [keep] are recorded or counted against the
+     budget, in every engine and every subtree of the parallel split -
+     so filtered searches keep the same prefix/identity guarantees. *)
+  let keep_raw = match keep with None -> fun _ -> true | Some f -> fun sol -> f (to_multi sol) in
+  (* Merge of the parallel split's per-subtree [(solutions, count)]
+     results, in branch order - identical to the sequential list for any
+     pool size (each subtree enumerates in sequential order, and the
+     sequential search exhausts each subtree in turn). *)
+  let merge_parts parts =
+    if collect then begin
+      let sols = take max_solutions (List.concat (Array.to_list (Array.map fst parts))) in
+      (sols, List.length sols)
+    end
+    else ([], Array.fold_left (fun acc (_, c) -> acc + c) 0 parts)
+  in
+  (* Empty universe: the empty placement set is the one exact cover. *)
+  let trivial_root () =
+    if not (keep_raw [||]) then ([], 0) else if collect then ([ [||] ], 1) else ([], 1)
+  in
+  (* by_cell.(c) = placements covering cell c, in placement order -
+     ascending construction order, which is also DLX's row order in a
+     column, so all three engines branch candidates identically. *)
   let by_cell = Array.make idx [] in
-  List.iter (fun pl -> List.iter (fun c -> by_cell.(c) <- pl :: by_cell.(c)) pl.covers) placements;
-  let free covered pl = List.for_all (fun c -> not covered.(c)) pl.covers in
-  (* Most-constrained uncovered cell and its free placements; both engines
-     branch on this cell first (first strict minimum in cell order), which
-     is what lets the parallel split mirror their sequential traversals. *)
+  Array.iteri
+    (fun q pl -> List.iter (fun c -> by_cell.(c) <- q :: by_cell.(c)) pl.covers)
+    placement_arr;
+  let by_cell = Array.map (fun l -> Array.of_list (List.rev l)) by_cell in
+  let free covered q = List.for_all (fun c -> not covered.(c)) placement_arr.(q).covers in
+  (* Most-constrained uncovered cell and its free placements; every
+     engine branches on this cell first (first strict minimum in cell
+     order), which is what lets the parallel split mirror their
+     sequential traversals. *)
   let best_cell covered =
     let best = ref (-1) in
-    let best_cands = ref [] in
+    let best_cands = ref [||] in
     let best_n = ref max_int in
     for c = 0 to idx - 1 do
       if (not covered.(c)) && !best_n > 0 then begin
-        let cands = List.filter (free covered) by_cell.(c) in
-        let n = List.length cands in
+        let cands = Array.of_list (List.filter (free covered) (Array.to_list by_cell.(c))) in
+        let n = Array.length cands in
         if n < !best_n then begin
           best := c;
           best_cands := cands;
@@ -82,33 +177,53 @@ let cover_torus ~period ~prototiles ?(max_solutions = 64) ?(engine = `Backtracki
   let bt_solve ~covered ~chosen0 ~budget =
     let solutions = ref [] in
     let count = ref 0 in
-    let chosen = ref chosen0 in
+    (* [chosen.(0 .. lvl-1)] is the current branch in chronological
+       order; [chosen0] seeds the prefix for parallel subtree tasks. *)
+    let chosen = Array.make (max 1 idx) 0 in
+    let lvl = ref 0 in
+    List.iter
+      (fun q ->
+        chosen.(!lvl) <- q;
+        incr lvl)
+      chosen0;
     let rec solve () =
       if !count >= budget then ()
       else begin
         let best, best_cands = best_cell covered in
         if best < 0 then begin
-          (* Everything covered: record the solution. *)
-          solutions := List.rev !chosen :: !solutions;
-          incr count
+          (* Everything covered.  In counting mode with no filter nothing
+             is materialized at all; with a filter the solution array is
+             still built (the filter needs it) but not retained. *)
+          if collect then begin
+            let sol = Array.sub chosen 0 !lvl in
+            if keep_raw sol then begin
+              solutions := sol :: !solutions;
+              incr count
+            end
+          end
+          else (
+            match keep with
+            | None -> incr count
+            | Some _ -> if keep_raw (Array.sub chosen 0 !lvl) then incr count)
         end
         else
-          List.iter
-            (fun pl ->
-              if free covered pl then begin
-                List.iter (fun c -> covered.(c) <- true) pl.covers;
-                chosen := pl :: !chosen;
+          Array.iter
+            (fun q ->
+              if !count < budget && free covered q then begin
+                List.iter (fun c -> covered.(c) <- true) placement_arr.(q).covers;
+                chosen.(!lvl) <- q;
+                incr lvl;
                 solve ();
-                chosen := List.tl !chosen;
-                List.iter (fun c -> covered.(c) <- false) pl.covers
+                decr lvl;
+                List.iter (fun c -> covered.(c) <- false) placement_arr.(q).covers
               end)
             best_cands
       end
     in
     solve ();
-    List.rev !solutions
+    (List.rev !solutions, !count)
   in
-  (* Parallel split, shared by both engines: branch on the root cell, give
+  (* Parallel split, shared by all engines: branch on the root cell, give
      each candidate placement its own domain-local subtree, and merge the
      per-subtree solution lists in branch order.  Every subtree enumerates
      in the sequential engine's order and sequential search takes a prefix
@@ -116,65 +231,306 @@ let cover_torus ~period ~prototiles ?(max_solutions = 64) ?(engine = `Backtracki
      to the sequential result - for any pool size. *)
   let bt_parallel () =
     let root, cands = best_cell (Array.make idx false) in
-    if root < 0 then [ [] ]
-    else begin
-      let cand_arr = Array.of_list cands in
-      Parallel.map_array pool
-        (fun pl ->
-          let covered = Array.make idx false in
-          List.iter (fun c -> covered.(c) <- true) pl.covers;
-          bt_solve ~covered ~chosen0:[ pl ] ~budget:max_solutions)
-        cand_arr
-      |> Array.to_list |> List.concat |> take max_solutions
-    end
+    if root < 0 then trivial_root ()
+    else
+      merge_parts
+        (Parallel.map_array pool
+           (fun q ->
+             let covered = Array.make idx false in
+             List.iter (fun c -> covered.(c) <- true) placement_arr.(q).covers;
+             bt_solve ~covered ~chosen0:[ q ] ~budget:max_solutions)
+           cands)
   in
   let rows = List.map (fun pl -> pl.covers) placements in
-  let dlx_parallel placement_arr =
+  let dlx_keep =
+    match keep with
+    | None -> None
+    | Some _ -> Some (fun sol -> keep_raw (Array.of_list sol))
+  in
+  (* DLX emits placement-index lists already filtered by [dlx_keep]. *)
+  let dlx_results l =
+    if collect then (List.map Array.of_list l, List.length l) else ([], List.length l)
+  in
+  let dlx_parallel () =
     let root, _ = best_cell (Array.make idx false) in
-    if root < 0 then [ [] ]
-    else begin
+    if root < 0 then trivial_root ()
+    else
       (* Rows of the root column in insertion order = DLX's branch order. *)
-      let cand_rows = ref [] in
-      Array.iteri
-        (fun i pl -> if List.mem root pl.covers then cand_rows := i :: !cand_rows)
-        placement_arr;
-      let cand_rows = Array.of_list (List.rev !cand_rows) in
-      Parallel.map_array pool
-        (fun r ->
-          let problem = Dlx.create ~universe:idx rows in
-          Dlx.solve ~max_solutions ~forced:[ r ] problem)
-        cand_rows
-      |> Array.to_list |> List.concat |> take max_solutions
-      |> List.map (List.map (fun i -> placement_arr.(i)))
+      merge_parts
+        (Parallel.map_array pool
+           (fun r ->
+             let problem = Dlx.create ~universe:idx rows in
+             dlx_results (Dlx.solve ~max_solutions ?keep:dlx_keep ~forced:[ r ] problem))
+           by_cell.(root))
+  in
+  (* ---- [`Bitmask] engine -------------------------------------------- *)
+  (* Static tables, precomputed once and shared read-only across tasks:
+     [conflict_list.(q)] = every placement overlapping q, q itself
+     included, as a plain index array; [covers_start]/[covers_flat] =
+     placement footprints flattened CSR-style; [pl_word]/[pl_bit] and
+     [cell_word]/[cell_bit] = each index's position in the live /
+     uncovered word arrays, so the hot loops test and flip single bits
+     with two table reads instead of div/mod or bit scans. *)
+  let bm_run () =
+    let bpw = Sys.int_size in
+    let conflict_list =
+      Array.map
+        (fun pl ->
+          let m = Bitset.create n_pl in
+          List.iter (fun c -> Array.iter (fun q -> Bitset.set m q) by_cell.(c)) pl.covers;
+          Array.of_list (Bitset.to_list m))
+        placement_arr
+    in
+    let covers_start = Array.make (n_pl + 1) 0 in
+    Array.iteri
+      (fun q pl -> covers_start.(q + 1) <- covers_start.(q) + List.length pl.covers)
+      placement_arr;
+    let covers_flat = Array.make (max 1 covers_start.(n_pl)) 0 in
+    Array.iteri
+      (fun q pl -> List.iteri (fun i c -> covers_flat.(covers_start.(q) + i) <- c) pl.covers)
+      placement_arr;
+    let pl_word = Array.init n_pl (fun q -> q / bpw) in
+    let pl_bit = Array.init n_pl (fun q -> 1 lsl (q mod bpw)) in
+    let counts0 = Array.map Array.length by_cell in
+    let new_state () =
+      { live = Bitset.full n_pl;
+        counts = Array.copy counts0;
+        cell_next = Array.init (idx + 1) (fun c -> if c = idx then 0 else c + 1);
+        cell_prev = Array.init (idx + 1) (fun c -> if c = 0 then idx else c - 1);
+        undo = Array.make (max 1 n_pl) 0;
+        sp_at = Array.make (idx + 1) 0;
+        chosen = Array.make (max 1 idx) 0;
+        sp = 0;
+        depth = 0 }
+    in
+    (* [place] walks the placed piece's static conflict list, kills the
+       entries still live (one bit test + clear each), pushes them on the
+       undo stack and decrements the counts over their footprints;
+       [unplace] pops its stack frame and reverses both updates.  No bit
+       scanning anywhere - newly-dead placements come out of the static
+       table, not out of the mask.  All index arithmetic is bounds-safe
+       by construction ([r < n_pl], cells in [covers_flat] are [< idx]),
+       so the loops use unsafe accessors - this is the hottest code in
+       the engine. *)
+    let place st q =
+      let nxt = st.cell_next and prv = st.cell_prev in
+      for j = Array.unsafe_get covers_start q to Array.unsafe_get covers_start (q + 1) - 1 do
+        let c = Array.unsafe_get covers_flat j in
+        let p = Array.unsafe_get prv c and n = Array.unsafe_get nxt c in
+        Array.unsafe_set nxt p n;
+        Array.unsafe_set prv n p
+      done;
+      Array.unsafe_set st.sp_at st.depth st.sp;
+      st.depth <- st.depth + 1;
+      let lw = Bitset.unsafe_words st.live in
+      let counts = st.counts in
+      let undo = st.undo in
+      let cl = Array.unsafe_get conflict_list q in
+      let sp = ref st.sp in
+      for i = 0 to Array.length cl - 1 do
+        let r = Array.unsafe_get cl i in
+        let wi = Array.unsafe_get pl_word r in
+        let b = Array.unsafe_get pl_bit r in
+        let w = Array.unsafe_get lw wi in
+        if w land b <> 0 then begin
+          Array.unsafe_set lw wi (w land lnot b);
+          Array.unsafe_set undo !sp r;
+          incr sp;
+          for j = Array.unsafe_get covers_start r to Array.unsafe_get covers_start (r + 1) - 1
+          do
+            let c = Array.unsafe_get covers_flat j in
+            Array.unsafe_set counts c (Array.unsafe_get counts c - 1)
+          done
+        end
+      done;
+      st.sp <- !sp
+    in
+    let unplace st q =
+      st.depth <- st.depth - 1;
+      let sp0 = Array.unsafe_get st.sp_at st.depth in
+      let lw = Bitset.unsafe_words st.live in
+      let counts = st.counts in
+      let undo = st.undo in
+      for t = st.sp - 1 downto sp0 do
+        let r = Array.unsafe_get undo t in
+        let wi = Array.unsafe_get pl_word r in
+        Array.unsafe_set lw wi (Array.unsafe_get lw wi lor Array.unsafe_get pl_bit r);
+        for j = Array.unsafe_get covers_start r to Array.unsafe_get covers_start (r + 1) - 1 do
+          let c = Array.unsafe_get covers_flat j in
+          Array.unsafe_set counts c (Array.unsafe_get counts c + 1)
+        done
+      done;
+      st.sp <- sp0;
+      let nxt = st.cell_next and prv = st.cell_prev in
+      (* Relink in reverse unlink order, so the neighbours recorded in
+         each cell's own [prev]/[next] slots are valid again. *)
+      for j = Array.unsafe_get covers_start (q + 1) - 1 downto Array.unsafe_get covers_start q
+      do
+        let c = Array.unsafe_get covers_flat j in
+        let p = Array.unsafe_get prv c and n = Array.unsafe_get nxt c in
+        Array.unsafe_set nxt p c;
+        Array.unsafe_set prv n c
+      done
+    in
+    (* Same selection rule as [best_cell] - the first strict minimum of
+       the candidate count over uncovered cells, in cell order - read
+       straight from the incremental [counts].  The scan may stop at a
+       count <= 1: a later cell can displace a 1 only with a 0, and both
+       choices enumerate nothing (a 0-candidate cell can never be
+       covered again, since counts only decrease along a branch), so the
+       emitted solution sequence is unchanged - only wasted descent is
+       skipped. *)
+    let exception Found_forced in
+    let select st =
+      let nxt = st.cell_next in
+      let counts = st.counts in
+      let best = ref (-1) in
+      let best_n = ref max_int in
+      (try
+         let c = ref (Array.unsafe_get nxt idx) in
+         while !c <> idx do
+           let n = Array.unsafe_get counts !c in
+           if n < !best_n then begin
+             best := !c;
+             best_n := n;
+             if n <= 1 then raise_notrace Found_forced
+           end;
+           c := Array.unsafe_get nxt !c
+         done
+       with Found_forced -> ());
+      !best
+    in
+    (* Record the choice and place it - the entry point for seeding a
+       task's chosen prefix. *)
+    let choose st q =
+      st.chosen.(st.depth) <- q;
+      place st q
+    in
+    let bm_solve st ~budget =
+      let solutions = ref [] in
+      let count = ref 0 in
+      let chosen = st.chosen in
+      let rec solve () =
+        if !count >= budget then ()
+        else begin
+          let best = select st in
+          if best < 0 then begin
+            if collect then begin
+              let sol = Array.sub chosen 0 st.depth in
+              if keep_raw sol then begin
+                solutions := sol :: !solutions;
+                incr count
+              end
+            end
+            else (
+              match keep with
+              | None -> incr count
+              | Some _ -> if keep_raw (Array.sub chosen 0 st.depth) then incr count)
+          end
+          else begin
+            (* Branch on the cell's static candidate row, re-testing
+               liveness at visit time: [live] is restored between
+               siblings, so the test equals the list engine's
+               per-candidate freeness test - same candidates, same
+               ascending order. *)
+            let cands = Array.unsafe_get by_cell best in
+            let lw = Bitset.unsafe_words st.live in
+            for i = 0 to Array.length cands - 1 do
+              let q = Array.unsafe_get cands i in
+              if
+                !count < budget
+                && Array.unsafe_get lw (Array.unsafe_get pl_word q)
+                   land Array.unsafe_get pl_bit q
+                   <> 0
+              then begin
+                Array.unsafe_set chosen st.depth q;
+                place st q;
+                solve ();
+                unplace st q
+              end
+            done
+          end
+        end
+      in
+      solve ();
+      (List.rev !solutions, !count)
+    in
+    let jobs = Parallel.jobs pool in
+    if jobs <= 1 then bm_solve (new_state ()) ~budget:max_solutions
+    else begin
+      let st0 = new_state () in
+      let root = select st0 in
+      if root < 0 then trivial_root ()
+      else if Array.length by_cell.(root) >= 2 * jobs then
+        (* One task per root candidate, merged in branch order. *)
+        merge_parts
+          (Parallel.map_array pool
+             (fun q ->
+               let st = new_state () in
+               choose st q;
+               bm_solve st ~budget:max_solutions)
+             by_cell.(root))
+      else begin
+        (* Too few root branches to occupy the pool: split two levels
+           deep.  The task list is expanded sequentially in traversal
+           order (place q; branch on the next selected cell; unplace), so
+           concatenating per-task results still reproduces the sequential
+           enumeration. *)
+        let tasks = ref [] in
+        Array.iter
+          (fun q ->
+            place st0 q;
+            let c2 = select st0 in
+            if c2 < 0 then tasks := `Leaf q :: !tasks
+            else
+              Array.iter
+                (fun r -> if Bitset.mem st0.live r then tasks := `Branch (q, r) :: !tasks)
+                by_cell.(c2);
+            unplace st0 q)
+          by_cell.(root);
+        let tasks = Array.of_list (List.rev !tasks) in
+        merge_parts
+          (Parallel.map_array pool
+             (fun task ->
+               match task with
+               | `Leaf q ->
+                 if not (keep_raw [| q |]) then ([], 0)
+                 else if collect then ([ [| q |] ], 1)
+                 else ([], 1)
+               | `Branch (q, r) ->
+                 let st = new_state () in
+                 choose st q;
+                 choose st r;
+                 bm_solve st ~budget:max_solutions)
+             tasks)
+      end
     end
   in
-  let raw_solutions =
+  let raw_solutions, total =
     match engine with
+    | `Bitmask -> bm_run ()
     | `Backtracking ->
       if Parallel.jobs pool > 1 then bt_parallel ()
       else bt_solve ~covered:(Array.make idx false) ~chosen0:[] ~budget:max_solutions
     | `Dlx ->
-      let placement_arr = Array.of_list placements in
-      if Parallel.jobs pool > 1 then dlx_parallel placement_arr
-      else
-        Dlx.create ~universe:idx rows
-        |> Dlx.solve ~max_solutions
-        |> List.map (List.map (fun i -> placement_arr.(i)))
+      if Parallel.jobs pool > 1 then dlx_parallel ()
+      else dlx_results (Dlx.solve ~max_solutions ?keep:dlx_keep (Dlx.create ~universe:idx rows))
   in
-  let to_multi sol =
-    let pieces =
-      List.mapi
-        (fun k p ->
-          let offs = List.filter_map (fun pl -> if pl.piece = k then Some pl.anchor else None) sol in
-          { Multi.tile = p; piece_offsets = offs })
-        prototiles
-      |> List.filter (fun pc -> pc.Multi.piece_offsets <> [])
-    in
-    match Multi.make ~period pieces with
-    | Ok t -> t
-    | Error msg -> invalid_arg ("Search.cover_torus: inconsistent solution: " ^ msg)
-  in
-  List.map to_multi raw_solutions
+  if collect then `Sols (List.map to_multi raw_solutions) else `Count total
+
+let cover_torus ~period ~prototiles ?(max_solutions = 64) ?(engine = `Bitmask) ?keep ?pool () =
+  let pool = match pool with Some pl -> pl | None -> Parallel.default () in
+  match torus_run ~period ~prototiles ~max_solutions ~engine ~keep ~pool ~collect:true with
+  | `Sols sols -> sols
+  | `Count _ -> assert false
+
+let count_torus_covers ~period ~prototiles ?(engine = `Bitmask) ?pool () =
+  let pool = match pool with Some pl -> pl | None -> Parallel.default () in
+  match
+    torus_run ~period ~prototiles ~max_solutions:max_int ~engine ~keep:None ~pool ~collect:false
+  with
+  | `Count n -> n
+  | `Sols _ -> assert false
 
 let default_factors = [ 1; 2; 3; 4 ]
 
@@ -215,16 +571,25 @@ let find_respectable ?(torus_factors = default_factors) prototiles ?(max_solutio
     let d = Prototile.dim n1 in
     let m1 = Prototile.size n1 in
     let uses_all mt = List.length (Multi.pieces mt) = List.length prototiles in
-    List.concat_map
+    let keep mt = uses_all mt && Multi.is_respectable mt in
+    (* [keep] makes each torus search early-stopping: only respectable
+       covers using every prototile count against its budget, so we ask
+       each period for exactly the solutions still wanted and stop as
+       soon as [max_solutions] have been found - no over-sampling. *)
+    let acc = ref [] in
+    let remaining = ref max_solutions in
+    List.iter
       (fun f ->
-        List.concat_map
+        List.iter
           (fun lam ->
-            (* Over-sample: many covers use only the big prototile. *)
-            cover_torus ~period:lam ~prototiles ~max_solutions:(max_solutions * 16) ()
-            |> List.filter (fun mt -> uses_all mt && Multi.is_respectable mt))
+            if !remaining > 0 then begin
+              let sols = cover_torus ~period:lam ~prototiles ~max_solutions:!remaining ~keep () in
+              remaining := !remaining - List.length sols;
+              acc := List.rev_append sols !acc
+            end)
           (Sublattice.all_of_index ~dim:d (f * m1)))
-      torus_factors
-    |> List.filteri (fun i _ -> i < max_solutions)
+      torus_factors;
+    List.rev !acc
 
 let exactness ?(torus_factors = default_factors) p =
   if Prototile.dim p = 2 && Polyomino.is_polyomino p then

@@ -29,11 +29,28 @@ val lattice_tilings : ?pool:Parallel.pool -> Lattice.Prototile.t -> Lattice.Subl
 
 val find_lattice_tiling : Lattice.Prototile.t -> Single.t option
 
+type engine = [ `Backtracking | `Bitmask | `Dlx ]
+(** Exact-cover solvers behind {!cover_torus}, all enumerating the
+    {e same} solutions in the {e same} order (the differential tests
+    assert list equality, not set equality):
+
+    - [`Bitmask] (the default): word-parallel kernel on {!Bitset} masks.
+      Each placement's cover mask (cells) and conflict mask (overlapping
+      placements) are precomputed once; the live-placement set and
+      per-cell live-candidate counts are updated incrementally on
+      place/unplace, so cell selection is O(cells) integer reads and
+      candidate freeness is one bit test.
+    - [`Backtracking]: the simple most-constrained-cell list
+      backtracker, kept as a differential oracle.
+    - [`Dlx]: Knuth's Algorithm X with dancing links ({!Dlx}), the
+      second oracle. *)
+
 val cover_torus :
   period:Lattice.Sublattice.t ->
   prototiles:Lattice.Prototile.t list ->
   ?max_solutions:int ->
-  ?engine:[ `Backtracking | `Dlx ] ->
+  ?engine:engine ->
+  ?keep:(Multi.t -> bool) ->
   ?pool:Parallel.pool ->
   unit ->
   Multi.t list
@@ -43,22 +60,48 @@ val cover_torus :
     Prototiles unused by a particular solution are dropped from its piece
     list.
 
-    [engine] selects the solver: the default [`Backtracking] is a simple
-    most-constrained-cell backtracker; [`Dlx] is Knuth's Algorithm X with
-    dancing links ({!Dlx}). Both return the same solution set (tests
-    enforce it); DLX is faster on larger quotients.
+    [keep] filters {e during} the search: only solutions it accepts are
+    returned or counted against [max_solutions], in every engine and
+    every parallel subtree, so a filtered search stops as soon as enough
+    acceptable covers exist instead of over-sampling (default: keep
+    everything).  The result equals
+    [List.filter keep (unfiltered enumeration)] truncated to
+    [max_solutions].
+
+    All engines share one branching rule - first strict-minimum
+    uncovered cell, candidates in placement order - so they return
+    identical ordered lists; [`Bitmask] is the fast path, the other two
+    are oracles ({!engine}).
 
     {b Determinism contract.}  With a [pool] of more than one domain
     (default {!Parallel.default}), the search splits at the root
     branching cell - the most constrained cell, which is also the first
-    column either sequential engine would branch on - and solves one
-    subtree per candidate placement across the domains, merging the
-    per-subtree solution lists in branch order and truncating to
-    [max_solutions].  Each subtree enumerates in its engine's sequential
-    order, and the sequential engine consumes subtrees in exactly this
-    order, so the returned list (contents {e and} order) is bit-identical
-    to the [jobs = 1] run of the same engine at every pool size; the
+    column the sequential engines branch on - and solves one subtree per
+    candidate placement across the domains, merging the per-subtree
+    solution lists in branch order and truncating to [max_solutions].
+    When the root has fewer than twice [jobs] candidates, [`Bitmask]
+    splits two levels deep (tasks expanded in traversal order), so small
+    roots no longer serialize the search.  Each subtree enumerates in
+    the sequential order and the sequential search consumes subtrees in
+    exactly this order, so the returned list (contents {e and} order) is
+    bit-identical to the [jobs = 1] run at every pool size; the
     determinism tests enforce this. *)
+
+val count_torus_covers :
+  period:Lattice.Sublattice.t ->
+  prototiles:Lattice.Prototile.t list ->
+  ?engine:engine ->
+  ?pool:Parallel.pool ->
+  unit ->
+  int
+(** Number of exact covers of the quotient - the length of the full
+    {!cover_torus} enumeration ([max_solutions = max_int], no [keep]) -
+    without materializing any solution.  The engines traverse exactly
+    the same tree in the same order as {!cover_torus}; skipping
+    per-solution recording and {!Multi.t} construction is what makes
+    counting the pure measure of search speed (EXP-P2 benches both).
+    Engine and pool semantics are as in {!cover_torus}; every engine and
+    every pool size returns the same count. *)
 
 val find_tiling :
   ?torus_factors:int list -> Lattice.Prototile.t -> Single.t option
@@ -82,4 +125,8 @@ val find_respectable :
 (** Respectable multi-prototile tilings (Section 4): searches torus
     covers over periods of index [f * |N1|] for [f] in [torus_factors]
     (default [1..4]), keeping only solutions that use every prototile and
-    are respectable. The first prototile must contain all others. *)
+    are respectable. The first prototile must contain all others.
+
+    The filter runs inside {!cover_torus} (its [keep] argument), so the
+    search stops as soon as [max_solutions] respectable covers are found
+    rather than over-sampling each period. *)

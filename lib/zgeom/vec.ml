@@ -41,9 +41,27 @@ let norm1 a = Array.fold_left (fun s ai -> s + abs ai) 0 a
 let norm_inf a = Array.fold_left (fun s ai -> max s (abs ai)) 0 a
 let norm2_sq a = dot a a
 
-let equal a b = a = b
+let equal (a : t) (b : t) =
+  let la = Array.length a in
+  la = Array.length b
+  &&
+  let rec go i = i >= la || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1)) in
+  go 0
 
-let compare (a : t) (b : t) = Stdlib.compare a b
+(* Same order as polymorphic [Stdlib.compare] on int arrays - length
+   first, then lexicographic - but monomorphic, so the sorts in the
+   tiling constructors stay out of the generic comparison runtime. *)
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec go i =
+      if i >= la then 0
+      else
+        let ai = Array.unsafe_get a i and bi = Array.unsafe_get b i in
+        if ai < bi then -1 else if ai > bi then 1 else go (i + 1)
+    in
+    go 0
 
 let is_zero a = Array.for_all (fun ai -> ai = 0) a
 

@@ -32,4 +32,12 @@ dune runtest
 # interface coverage.  Exits nonzero on any finding.
 dune exec bin/tilesched.exe -- lint
 
+# The BENCH_5.json pipeline must stay machine-readable end to end: a
+# tiny-quota run writes the artifact, the strict validator re-reads it
+# (schema + the three required torus-engine rows).
+bench_json=/tmp/tilesched-bench5-smoke.json
+dune exec bin/tilesched.exe -- bench --json "$bench_json" --quota 0.02 > /dev/null
+dune exec bin/tilesched.exe -- bench --validate "$bench_json"
+rm -f "$bench_json"
+
 echo "all checks passed"

@@ -1,0 +1,141 @@
+(* Property tests for the bitset kernel underneath the [`Bitmask]
+   exact-cover engine: every operation is checked against a naive
+   Set.Make(Int) model, with widths straddling the word boundary
+   (Sys.int_size = 63, so 62/63/64 and 125/126/127 are the edges). *)
+
+module B = Tiling.Bitset
+module IS = Set.Make (Int)
+
+(* Widths that exercise 0, 1 and 2+ words and both sides of each word
+   boundary. *)
+let widths = [ 0; 1; 2; 7; 62; 63; 64; 65; 125; 126; 127; 200 ]
+
+let model_of b = IS.of_list (B.to_list b)
+
+let check_against_model name b model =
+  Alcotest.(check (list int)) (name ^ ": to_list = model elements") (IS.elements model)
+    (B.to_list b);
+  Alcotest.(check int) (name ^ ": popcount = cardinal") (IS.cardinal model) (B.popcount b);
+  Alcotest.(check bool) (name ^ ": is_empty") (IS.is_empty model) (B.is_empty b);
+  for i = 0 to B.length b - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: mem %d" name i)
+      (IS.mem i model) (B.mem b i)
+  done
+
+let test_create_full_boundaries () =
+  List.iter
+    (fun n ->
+      let empty = B.create n in
+      let all = B.full n in
+      Alcotest.(check int) "create length" n (B.length empty);
+      check_against_model (Printf.sprintf "create %d" n) empty IS.empty;
+      check_against_model
+        (Printf.sprintf "full %d" n)
+        all
+        (IS.of_list (List.init n Fun.id));
+      (* full/create must agree with set/reset one bit at a time. *)
+      if n > 0 then begin
+        let b = B.create n in
+        B.set b 0;
+        B.set b (n - 1);
+        B.reset b 0;
+        (* at n = 1 the two indices coincide, so the reset clears both *)
+        check_against_model "set/reset edges" b (IS.remove 0 (IS.of_list [ 0; n - 1 ]))
+      end)
+    widths
+
+let test_out_of_range_rejected () =
+  let b = B.create 10 in
+  List.iter
+    (fun i ->
+      match B.mem b i with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "mem %d should raise" i))
+    [ -1; 10; 63 ];
+  (match B.set b 10 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "set out of range should raise");
+  match B.union b (B.create 11) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "width mismatch should raise"
+
+let test_iter_ascending () =
+  List.iter
+    (fun n ->
+      let b = B.full n in
+      let seen = ref [] in
+      B.iter (fun i -> seen := i :: !seen) b;
+      Alcotest.(check (list int))
+        (Printf.sprintf "iter ascending, width %d" n)
+        (List.init n Fun.id) (List.rev !seen))
+    widths
+
+(* Random subset of [0, n) driven by a QCheck-drawn seed: one Splitmix64
+   stream decides width, membership and operation order, so failures
+   replay from a single integer. *)
+let qcheck_ops_match_set_model =
+  let gen = QCheck.Gen.int_bound 1_000_000 in
+  let arb = QCheck.make ~print:string_of_int gen in
+  QCheck.Test.make ~name:"bitset ops = Set.Make(Int) model" ~count:200 arb (fun seed ->
+      let sm = Prng.Splitmix64.create (Int64.of_int seed) in
+      let draw bound =
+        Int64.to_int (Int64.unsigned_rem (Prng.Splitmix64.next sm) (Int64.of_int bound))
+      in
+      let n = 1 + draw 200 in
+      let random_subset () =
+        let members = List.filter (fun _ -> draw 3 = 0) (List.init n Fun.id) in
+        (B.of_list n members, IS.of_list members)
+      in
+      let ba, ma = random_subset () in
+      let bb, mb = random_subset () in
+      let binop_in_place op mop =
+        let dst = B.copy ba in
+        op dst bb;
+        IS.equal (model_of dst) (mop ma mb)
+      in
+      binop_in_place B.union IS.union
+      && binop_in_place B.diff IS.diff
+      && binop_in_place B.inter IS.inter
+      && begin
+           let dst = B.create n in
+           B.inter_into ~dst ba bb;
+           IS.equal (model_of dst) (IS.inter ma mb)
+         end
+      && B.inter_popcount ba bb = IS.cardinal (IS.inter ma mb)
+      && B.subset ba bb = IS.subset ma mb
+      && B.subset ba (B.full n)
+      && B.disjoint ba bb = IS.is_empty (IS.inter ma mb)
+      && B.equal ba bb = IS.equal ma mb
+      && B.equal ba (B.copy ba)
+      && begin
+           (* blit overwrites, preserving the trailing-bits invariant
+              popcount relies on. *)
+           let dst = B.full n in
+           B.blit ~src:ba ~dst;
+           IS.equal (model_of dst) ma && B.popcount dst = IS.cardinal ma
+         end
+      && B.to_list ba = IS.elements ma
+      && begin
+           (* set/reset round-trip on a random index. *)
+           let i = draw n in
+           let b = B.copy ba in
+           B.set b i;
+           let added = IS.equal (model_of b) (IS.add i ma) in
+           B.reset b i;
+           added && IS.equal (model_of b) (IS.remove i ma)
+         end)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "bitset"
+    [
+      ( "bitset",
+        [
+          Alcotest.test_case "create/full at word boundaries" `Quick test_create_full_boundaries;
+          Alcotest.test_case "out of range rejected" `Quick test_out_of_range_rejected;
+          Alcotest.test_case "iter ascending" `Quick test_iter_ascending;
+          qc qcheck_ops_match_set_model;
+        ] );
+    ]

@@ -103,12 +103,14 @@ let test_lattice_tilings_deterministic () =
 
 let sz_period = lazy (Sublattice.of_basis [| [| 4; 0 |]; [| 0; 4 |] |])
 
+let engines : (Tiling.Search.engine * string) list =
+  [ (`Backtracking, "bt"); (`Dlx, "dlx"); (`Bitmask, "bitmask") ]
+
 let test_cover_torus_deterministic () =
   let period = Lazy.force sz_period in
   let prototiles = [ Prototile.tetromino `S; Prototile.tetromino `Z ] in
   List.iter
-    (fun engine ->
-      let ename = match engine with `Backtracking -> "bt" | `Dlx -> "dlx" in
+    (fun (engine, ename) ->
       (* Both the truncated list (budget bites mid-merge) and the full
          enumeration must be reproduced. *)
       List.iter
@@ -118,7 +120,7 @@ let test_cover_torus_deterministic () =
             (fun pool ->
               Tiling.Search.cover_torus ~period ~prototiles ~max_solutions ~engine ~pool ()))
         [ 7; 50; 1000 ])
-    [ `Backtracking; `Dlx ]
+    engines
 
 let test_cover_torus_multi_prototile_deterministic () =
   (* A heterogeneous instance: 2x2 squares plus single-cell fillers on a
@@ -126,10 +128,92 @@ let test_cover_torus_multi_prototile_deterministic () =
   let period = Sublattice.of_basis [| [| 5; 0 |]; [| 0; 2 |] |] in
   let prototiles = [ Prototile.rect 2 2; Prototile.of_cells [ Zgeom.Vec.zero 2 ] ] in
   List.iter
-    (fun engine ->
+    (fun (engine, _) ->
       check_jobs_invariant "cover_torus squares+singles" (fun pool ->
           Tiling.Search.cover_torus ~period ~prototiles ~max_solutions:200 ~engine ~pool ()))
-    [ `Backtracking; `Dlx ]
+    engines
+
+let rec take n = function [] -> [] | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+let test_three_way_engine_oracle () =
+  (* The strongest form of the engine contract: over a randomized corpus
+     of torus instances, all three engines return the same ORDERED
+     solution list, at every pool size, and truncation to any
+     [max_solutions] is a prefix of that list.  Instance generation
+     mirrors test_tiling's differential corpus (one Splitmix64 stream, so
+     a failure replays from the loop index). *)
+  let sm = Prng.Splitmix64.create 2027L in
+  let draw bound =
+    Int64.to_int (Int64.unsigned_rem (Prng.Splitmix64.next sm) (Int64.of_int bound))
+  in
+  for instance = 1 to 12 do
+    let a = 1 + draw 3 in
+    let b = 1 + draw 3 in
+    let b = if a * b < 2 then 2 else b in
+    let c = draw a in
+    let period = Sublattice.of_basis [| [| a; 0 |]; [| c; b |] |] in
+    let rng = Prng.Xoshiro.create (Prng.Splitmix64.next sm) in
+    let poly () = Randomtile.polyomino rng ~cells:(2 + draw 3) in
+    (* A single-cell filler keeps every instance satisfiable. *)
+    let prototiles =
+      (poly () :: (if draw 2 = 0 then [ poly () ] else []))
+      @ [ Prototile.of_cells [ Zgeom.Vec.zero 2 ] ]
+    in
+    let solve ~engine ~jobs ~max_solutions =
+      Parallel.with_pool ~jobs (fun pool ->
+          Tiling.Search.cover_torus ~period ~prototiles ~max_solutions ~engine ~pool ())
+    in
+    let reference = solve ~engine:`Bitmask ~jobs:1 ~max_solutions:100_000 in
+    List.iter
+      (fun (engine, ename) ->
+        List.iter
+          (fun jobs ->
+            let full = solve ~engine ~jobs ~max_solutions:100_000 in
+            Alcotest.(check bool)
+              (Printf.sprintf "instance %d: %s jobs=%d = reference" instance ename jobs)
+              true (full = reference);
+            List.iter
+              (fun m ->
+                let truncated = solve ~engine ~jobs ~max_solutions:m in
+                Alcotest.(check bool)
+                  (Printf.sprintf "instance %d: %s jobs=%d max=%d is a prefix" instance ename
+                     jobs m)
+                  true
+                  (truncated = take m reference))
+              [ 1; 2; 5 ])
+          [ 1; 2; 4 ])
+      engines
+  done
+
+let test_count_matches_enumeration () =
+  (* [count_torus_covers] = length of the full [cover_torus] enumeration,
+     for every engine and pool size (the counting path skips all
+     materialization, so it exercises different code). *)
+  let check label ~period ~prototiles =
+    let expected =
+      List.length (Tiling.Search.cover_torus ~period ~prototiles ~max_solutions:max_int ())
+    in
+    List.iter
+      (fun (engine, ename) ->
+        List.iter
+          (fun jobs ->
+            let n =
+              Parallel.with_pool ~jobs (fun pool ->
+                  Tiling.Search.count_torus_covers ~period ~prototiles ~engine ~pool ())
+            in
+            Alcotest.(check int) (Printf.sprintf "%s: %s jobs=%d" label ename jobs) expected n)
+          [ 1; 2; 4 ])
+      engines
+  in
+  check "S/Z 4x4" ~period:(Lazy.force sz_period)
+    ~prototiles:[ Prototile.tetromino `S; Prototile.tetromino `Z ];
+  check "squares+singles 5x2"
+    ~period:(Sublattice.of_basis [| [| 5; 0 |]; [| 0; 2 |] |])
+    ~prototiles:[ Prototile.rect 2 2; Prototile.of_cells [ Zgeom.Vec.zero 2 ] ];
+  (* Unsatisfiable instance: a domino can't cover an odd quotient. *)
+  check "domino 3x1"
+    ~period:(Sublattice.of_basis [| [| 3; 0 |]; [| 0; 1 |] |])
+    ~prototiles:[ Prototile.rect 2 1 ]
 
 let test_chromatic_number_deterministic () =
   (* Random graphs of varying density; the parallel k-colorability
@@ -202,6 +286,8 @@ let () =
           Alcotest.test_case "lattice tilings" `Quick test_lattice_tilings_deterministic;
           Alcotest.test_case "cover_torus S/Z" `Quick test_cover_torus_deterministic;
           Alcotest.test_case "cover_torus multi" `Quick test_cover_torus_multi_prototile_deterministic;
+          Alcotest.test_case "three-way engine oracle" `Quick test_three_way_engine_oracle;
+          Alcotest.test_case "count = enumeration length" `Quick test_count_matches_enumeration;
           Alcotest.test_case "chromatic number" `Quick test_chromatic_number_deterministic;
           Alcotest.test_case "ground-rule minimum" `Quick test_ground_rule_minimum_deterministic;
           Alcotest.test_case "netsim sweep" `Quick test_run_sweep_deterministic;
