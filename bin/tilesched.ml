@@ -103,7 +103,35 @@ let jobs_term =
             "Worker domains for the search and simulation engines (1 = sequential). Output is \
              bit-identical at every value.")
   in
-  Term.(const Parallel.set_default_jobs $ jobs)
+  (* [--sched] picks how subtrees reach the domains: the work-stealing
+     scheduler (default) or the original static split, kept selectable
+     as its differential oracle.  Output is bit-identical either way. *)
+  let sched_conv =
+    let parse = function
+      | "static" -> Ok `Static
+      | "steal" -> Ok `Steal
+      | s -> Error (`Msg (Printf.sprintf "unknown scheduler %S (expected static or steal)" s))
+    in
+    let print fmt s =
+      Format.pp_print_string fmt (match s with `Static -> "static" | `Steal -> "steal")
+    in
+    Arg.conv (parse, print)
+  in
+  let sched =
+    Arg.(
+      value
+      & opt sched_conv (Parallel.default_sched ())
+      & info [ "sched" ] ~docv:"SCHED"
+          ~doc:
+            "Parallel scheduler: $(b,steal) (work-stealing deques with lazy subtree splitting, \
+             the default) or $(b,static) (fixed root split, the differential oracle). Output is \
+             bit-identical under both.")
+  in
+  let set jobs sched =
+    Parallel.set_default_jobs jobs;
+    Parallel.set_default_sched sched
+  in
+  Term.(const set $ jobs $ sched)
 
 let width_arg =
   Arg.(value & opt int 12 & info [ "w"; "width" ] ~docv:"W" ~doc:"Window/field width.")
@@ -685,16 +713,26 @@ let bench_cmd =
       & info [ "quota" ] ~docv:"SECS"
           ~doc:"Bechamel time budget per benchmark, in seconds. Small values make a fast smoke run.")
   in
+  let skew_arg =
+    Arg.(
+      value & flag
+      & info [ "skew" ]
+          ~doc:
+            "Run (or validate) the EXP-P3 scheduler suite instead: the adversarial skewed \
+             instance counted sequentially and at jobs=4 under each scheduler, emitted as \
+             BENCH_6.json.")
+  in
   let read_file path =
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let run () json validate quota =
+  let run () json validate quota skew =
+    let required = if skew then Microbench.required_skew else Microbench.required in
     match validate with
     | Some path -> (
-      match Microbench.validate_json (read_file path) with
+      match Microbench.validate_json ~required (read_file path) with
       | Ok rows ->
         Printf.printf "%s: %d rows, schema ok\n" path (List.length rows);
         Ok ()
@@ -702,7 +740,7 @@ let bench_cmd =
     | None ->
       if quota <= 0.0 then Error (`Msg "quota must be positive")
       else begin
-        let rows = Microbench.run ~quota () in
+        let rows = if skew then Microbench.run_skew ~quota () else Microbench.run ~quota () in
         Printf.printf "%-42s %16s\n" "benchmark" "ns/call";
         List.iter
           (fun r -> Printf.printf "%-42s %16.1f\n" r.Microbench.name r.Microbench.ns_per_call)
@@ -711,7 +749,7 @@ let bench_cmd =
         | None -> Ok ()
         | Some path -> (
           let out = Microbench.to_json rows in
-          match Microbench.validate_json out with
+          match Microbench.validate_json ~required out with
           | Error msg -> Error (`Msg ("refusing to write invalid artifact: " ^ msg))
           | Ok _ ->
             let oc = open_out path in
@@ -725,8 +763,9 @@ let bench_cmd =
     (Cmd.info "bench"
        ~doc:
          "Run the Bechamel micro-benchmark suite (including the three torus exact-cover engines) \
-          and optionally emit or validate the machine-readable BENCH_5.json artifact.")
-    Term.(term_result (const run $ jobs_term $ json_arg $ validate_arg $ quota_arg))
+          and optionally emit or validate the machine-readable BENCH_5.json artifact; with \
+          $(b,--skew), the EXP-P3 static-vs-steal scheduler suite and BENCH_6.json instead.")
+    Term.(term_result (const run $ jobs_term $ json_arg $ validate_arg $ quota_arg $ skew_arg))
 
 let () =
   let doc = "Collision-free sensor scheduling by lattice tilings (Klappenecker-Lee-Welch 2008)" in

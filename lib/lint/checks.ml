@@ -141,6 +141,30 @@ let check_fanout_application ctx args =
       | _ -> ())
     args
 
+(* The stealing entry points.  [Steal.run] receives its worker-run
+   closures nested inside task tuples and arrays rather than as direct
+   function arguments, so the purity scan must descend through arbitrary
+   argument structure and check every lambda it finds; [Steal.spawn] and
+   [steal_map_array] get the same treatment for uniformity. *)
+let steal_functions = function
+  | [ "Parallel"; "Steal"; ("run" | "spawn") ]
+  | [ "Steal"; ("run" | "spawn") ]
+  | [ "Parallel"; "steal_map_array" ] -> true
+  | _ -> false
+
+let rec scan_lambdas ctx e =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> scan_task ctx StrSet.empty e
+  | _ ->
+    (* Descend, stopping at each lambda: [scan_task] owns everything
+       inside it (and tracks the names it binds). *)
+    let it =
+      { Ast_iterator.default_iterator with expr = (fun _ child -> scan_lambdas ctx child) }
+    in
+    Ast_iterator.default_iterator.expr it e
+
+let check_steal_application ctx args = List.iter (fun (_, arg) -> scan_lambdas ctx arg) args
+
 (* ---------- R1 / R2: banned identifiers ---------- *)
 
 let sorting_head = function
@@ -227,6 +251,8 @@ let check_structure ~file structure =
             match head_ident f with
             | Some [ "Parallel"; fn ] when List.mem fn fanout_functions ->
               if rule_applies "R3" ctx.file then check_fanout_application ctx args
+            | Some path when steal_functions path ->
+              if rule_applies "R3" ctx.file then check_steal_application ctx args
             | _ -> ())
           | _ -> ());
           match e.pexp_desc with

@@ -12,6 +12,44 @@ let staircase k =
   in
   Prototile.of_cells_anchored cells
 
+let cross n =
+  if n < 2 then invalid_arg "Microbench.cross: n must be at least 2";
+  let cells =
+    List.init n (fun j -> Zgeom.Vec.make2 0 j) @ List.init (n - 1) (fun i -> Zgeom.Vec.make2 (i + 1) 0)
+  in
+  Prototile.of_cells cells
+
+(* Any two torus translates of the cross intersect (their row and column
+   arms cannot both miss), so a cover uses at most one cross; with the
+   monomino alongside there are exactly 1 + n^2 covers, and all but
+   2n - 1 of them put a monomino on cell 0.  Cell selection is
+   symmetric, so the branch share is exactly that cover share. *)
+let skew_instance ~n =
+  let period = Sublattice.of_basis [| [| n; 0 |]; [| 0; n |] |] in
+  let mono = Prototile.of_cells [ Zgeom.Vec.zero 2 ] in
+  (period, [ cross n; mono ])
+
+let skew_root_share ~n =
+  let period, prototiles = skew_instance ~n in
+  let pool = Parallel.create ~jobs:1 in
+  let zero = Zgeom.Vec.zero 2 in
+  let mono_at_zero mt =
+    List.exists
+      (fun pc ->
+        Prototile.size pc.Tiling.Multi.tile = 1
+        && List.exists
+             (fun o -> Zgeom.Vec.equal (Sublattice.reduce period o) zero)
+             pc.Tiling.Multi.piece_offsets)
+      (Tiling.Multi.pieces mt)
+  in
+  let total = Tiling.Search.count_torus_covers ~period ~prototiles ~pool () in
+  let fat =
+    List.length
+      (Tiling.Search.cover_torus ~period ~prototiles ~max_solutions:max_int ~keep:mono_at_zero
+         ~pool ())
+  in
+  float fat /. float total
+
 let required =
   [
     "torus-all-backtracking";
@@ -21,6 +59,50 @@ let required =
     "torus-mat-dlx";
     "torus-mat-bitmask";
   ]
+
+let required_skew = [ "skew-seq-j1"; "skew-static-j4"; "skew-steal-j4" ]
+
+let run_tests ~quota tests =
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    List.sort Stdlib.compare (Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [])
+  in
+  List.filter_map
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some (est :: _) -> Some { name; ns_per_call = est }
+      | _ -> None)
+    rows
+
+let run_skew ?(quota = 0.5) () =
+  if quota <= 0.0 then invalid_arg "Microbench.run_skew: quota must be positive";
+  let open Bechamel in
+  (* n = 28: 785 covers, 93% of them under the single monomino-at-zero
+     root branch (EXP-P3), at a sequential count cost small enough for
+     the CI smoke run. *)
+  let period, prototiles = skew_instance ~n:28 in
+  let pool1 = Parallel.create ~jobs:1 in
+  let pool4 = Parallel.create ~jobs:4 in
+  let count pool sched () =
+    Tiling.Search.count_torus_covers ~period ~prototiles ~pool ~sched ()
+  in
+  let tests =
+    Test.make_grouped ~name:"skew"
+      [
+        Test.make ~name:"skew-seq-j1" (Staged.stage (count pool1 `Static));
+        Test.make ~name:"skew-static-j4" (Staged.stage (count pool4 `Static));
+        Test.make ~name:"skew-steal-j4" (Staged.stage (count pool4 `Steal));
+      ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Parallel.shutdown pool1;
+      Parallel.shutdown pool4)
+    (fun () -> run_tests ~quota tests)
 
 let run ?(quota = 0.5) () =
   if quota <= 0.0 then invalid_arg "Microbench.run: quota must be positive";
@@ -93,19 +175,7 @@ let run ?(quota = 0.5) () =
         Test.make ~name:"sim-100-slots-10x10" (Staged.stage (fun () -> Netsim.Sim.run sim_cfg));
       ]
   in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) () in
-  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
-  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |] in
-  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let rows =
-    List.sort Stdlib.compare (Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [])
-  in
-  List.filter_map
-    (fun (name, v) ->
-      match Analyze.OLS.estimates v with
-      | Some (est :: _) -> Some { name; ns_per_call = est }
-      | _ -> None)
-    rows
+  run_tests ~quota tests
 
 (* ------------------------------------------------------------------ *)
 (* JSON artifact                                                       *)
@@ -148,7 +218,7 @@ let contains_substring hay needle =
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
   go 0
 
-let validate_json s =
+let validate_json ?(required = required) s =
   let n = String.length s in
   let pos = ref 0 in
   let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in

@@ -18,12 +18,41 @@ val staircase : int -> Lattice.Prototile.t
     scaling family for the Beauquier-Nivat decision (also used by the
     EXP-S3 and EXP-A2 experiment sections). *)
 
+val cross : int -> Lattice.Prototile.t
+(** The [(2n - 1)]-cell cross: row 0 union column 0 of the [n x n]
+    square.  Any two torus translates of it intersect, which is what
+    makes {!skew_instance} adversarially skewed.  Requires [n >= 2]. *)
+
+val skew_instance : n:int -> Lattice.Sublattice.t * Lattice.Prototile.t list
+(** The adversarial skewed exact-cover instance of EXP-P3: [cross n]
+    plus the monomino on the [n x n] torus.  At most one cross fits in
+    any cover, so there are exactly [1 + n^2] covers and the single
+    monomino-at-cell-0 root branch owns [(n^2 - 2n + 2) / (n^2 + 1)] of
+    them - at least 90% for [n >= 20] (93% at the benchmark's [n = 28]).
+    A static root split serializes that branch on one worker; lazy
+    stealing re-splits it. *)
+
+val skew_root_share : n:int -> float
+(** Fraction of the instance's covers that lie in the fat root branch
+    (monomino covering cell 0), measured by filtered enumeration at
+    [jobs = 1].  The skew test asserts this is [>= 0.9] at [n = 20]. *)
+
 val run : ?quota:float -> unit -> row list
 (** Run the whole suite and return one row per benchmark, sorted by
     name.  [quota] is the Bechamel time budget per benchmark in seconds
     (default 0.5); smaller quotas trade estimate quality for wall time,
     which is what the CI smoke run wants.  Raises [Invalid_argument] if
     [quota <= 0]. *)
+
+val run_skew : ?quota:float -> unit -> row list
+(** The EXP-P3 scheduler benchmark, serialized to [BENCH_6.json]:
+    {!Tiling.Search.count_torus_covers} on [skew_instance ~n:28] as
+    [skew-seq-j1] (jobs = 1), [skew-static-j4] and [skew-steal-j4]
+    (jobs = 4 under each {!Parallel.sched}).  On a multi-core host the
+    steal row beats the static row, which is pinned near sequential by
+    the fat branch; a single-core host shows no separation, so the
+    artifact is schema-checked rather than threshold-checked.
+    [quota] as in {!run}. *)
 
 val required : string list
 (** Substrings that {!validate_json} demands among row names: the three
@@ -34,14 +63,20 @@ val required : string list
     carries the backtracking/DLX/bitmask comparison this suite exists to
     track. *)
 
+val required_skew : string list
+(** The row names {!validate_json} demands of the [BENCH_6.json]
+    artifact: the three {!run_skew} configurations. *)
+
 val to_json : row list -> string
 (** Serialize rows as a JSON array of two-key objects, one per line.
     Output round-trips through {!validate_json} provided the rows
-    include {!required}. *)
+    include the demanded names. *)
 
-val validate_json : string -> (row list, string) result
-(** Strict schema check for the [BENCH_5.json] artifact: a single JSON
+val validate_json : ?required:string list -> string -> (row list, string) result
+(** Strict schema check for the benchmark artifacts: a single JSON
     array of objects with exactly the keys ["name"] (string) and
     ["ns_per_call"] (non-negative number) in either order, no trailing
-    garbage, and every {!required} substring present among the names.
-    Returns the parsed rows, or a message locating the first problem. *)
+    garbage, and every [required] substring present among the names
+    (default {!required}, the [BENCH_5.json] contract; pass
+    {!required_skew} for [BENCH_6.json]).  Returns the parsed rows, or
+    a message locating the first problem. *)

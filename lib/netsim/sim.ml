@@ -187,10 +187,10 @@ let pp_result fmt r =
 let conservation_ok r =
   r.stats.Stats.arrivals = r.stats.Stats.delivered + r.drops + r.backlog
 
-let run_sweep ?pool cfg ~seeds =
+let run_sweep ?pool ?sched cfg ~seeds =
   let pool = match pool with Some pl -> pl | None -> Parallel.default () in
   (* Runs are independent (all state is created inside [run], randomness
      comes from per-node streams split off the run seed), so seeds can go
      to separate domains; the shared trace sink is the one piece of
      cross-run mutable state, so sweeps disable it. *)
-  Parallel.map pool (fun seed -> run { cfg with seed; trace = None }) seeds
+  Parallel.map ?sched pool (fun seed -> run { cfg with seed; trace = None }) seeds

@@ -60,7 +60,8 @@ type result = {
 
 val run : config -> result
 
-val run_sweep : ?pool:Parallel.pool -> config -> seeds:int64 list -> result list
+val run_sweep :
+  ?pool:Parallel.pool -> ?sched:Parallel.sched -> config -> seeds:int64 list -> result list
 (** Independent {!run}s of the same configuration at each seed, in seed
     order.  With a pool of more than one domain (default
     {!Parallel.default}), the runs execute on separate domains; each run

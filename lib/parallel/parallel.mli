@@ -15,7 +15,7 @@
     task observes another's timing.  Provided the task function itself is
     deterministic, [map pool f xs = List.map f xs] for {e every} pool
     size - the tests enforce this for the search engines at
-    [jobs = 1, 2, 4].
+    [jobs = 1, 2, 4, 8], under both schedulers.
 
     {2 Pool lifecycle}
 
@@ -63,17 +63,111 @@ val parallel_for : pool -> n:int -> (int -> unit) -> unit
     here after the batch drains (remaining tasks are skipped on a
     best-effort basis). *)
 
-val map_array : pool -> ('a -> 'b) -> 'a array -> 'b array
-(** [map_array pool f xs]: like [Array.map f xs]; element [i] of the
-    result is [f xs.(i)] regardless of which domain computed it. *)
+type sched = [ `Static | `Steal ]
+(** How fork/join work is distributed over the pool:
 
-val map : pool -> ('a -> 'b) -> 'a list -> 'b list
+    - [`Static]: the original batch dispatcher - one shared atomic index
+      over a fixed task array.  Kept selectable as the differential
+      oracle for the stealing scheduler.
+    - [`Steal]: per-worker deques with work stealing and lazy task
+      splitting ({!Steal}), the default.  Balances skewed task costs;
+      produces bit-identical output to [`Static] (and to [jobs = 1]) by
+      the canonical-key merge described below. *)
+
+val default_sched : unit -> sched
+(** The process-wide scheduler default, initially [TILESCHED_SCHED] from
+    the environment (["static"] selects [`Static]; anything else,
+    including unset, selects [`Steal]).  Every [?sched] argument below
+    and in the search entry points falls back to this, which is how the
+    [tilesched --sched] flag reaches them. *)
+
+val set_default_sched : sched -> unit
+
+module Steal : sig
+  (** The work-stealing runtime.
+
+      Each worker slot owns a deque of tasks; owners push and pop at the
+      bottom (newest first, for locality), thieves steal from the top
+      (oldest first - the shallowest subtree, hence the biggest expected
+      remaining work, as in a Chase-Lev deque).  A thief that finds
+      every deque empty while tasks are still outstanding raises a
+      {e hungry} flag; running tasks poll it via {!should_split} and
+      give away part of their remaining work with {!spawn}.
+
+      {2 Determinism contract}
+
+      Every task and every result chunk carries a canonical {e path
+      key}: the list of branch positions from the search root
+      identifying the subtree the chunk's results come from.  [run]
+      concatenates all chunks sorted by key - lexicographically, with a
+      prefix sorting before its extensions - so the output depends only
+      on the keys, never on which worker computed a chunk or when.
+      Callers must therefore (a) key chunks so that key order equals
+      sequential enumeration order, and (b) never emit two chunks with
+      equal keys from different subtrees.  Under those rules the result
+      is bit-identical to the sequential run for every pool size,
+      victim policy, and interleaving - the fuzzer drives randomized
+      victim policies over ~100 seeds to enforce exactly this. *)
+
+  type 'a ctx
+  (** Handle a running task uses to interact with the scheduler. *)
+
+  val should_split : 'a ctx -> bool
+  (** True when some worker is starving and this worker's own deque is
+      empty: the task should give away part of its remaining subtree via
+      {!spawn}.  Cheap (two plain reads), safe to poll at every search
+      node.  Always false at [jobs = 1]. *)
+
+  val spawn : 'a ctx -> key:int list -> ('a ctx -> (int list * 'a) list) -> unit
+  (** [spawn ctx ~key body] pushes a new task onto the calling worker's
+      own deque, from where idle workers steal it.  [body] runs with a
+      ctx of whichever worker executes it and returns its keyed chunks;
+      [key] must be the canonical path of the subtree given away. *)
+
+  val run :
+    pool ->
+    ?victim:(thief:int -> round:int -> victims:int -> int) ->
+    ?weights:float array ->
+    (int list * ('a ctx -> (int list * 'a) list)) array ->
+    (int list * 'a) list
+  (** [run pool tasks] executes the tasks (and everything they [spawn])
+      to completion and returns all chunks sorted by path key.  Each
+      task is [(key, body)]; bodies run on worker domains, so they must
+      obey the same purity rule as every Parallel fan-out closure (lint
+      R3): mutate only state created inside the body.
+
+      [weights] (same length as [tasks]) seeds the initial deque
+      assignment longest-processing-time-first from a caller-supplied
+      cost model; it affects placement only, never the output.
+
+      [victim ~thief ~round ~victims] is a debug hook for the steal-
+      schedule fuzzer: it picks which of the [victims] other deques the
+      starving [thief] scans on attempt [round] (any return value is
+      reduced mod [victims]; the default scans round-robin).  It runs
+      concurrently on worker domains, so it must be thread-safe.
+
+      If any task raises, one exception is re-raised after the workers
+      drain; remaining tasks are skipped best-effort. *)
+end
+
+val steal_map_array : pool -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array] on the stealing runtime: one task per element, no
+    splitting - dynamic load balance for uneven per-element cost.
+    Output is index-ordered, identical to {!map_array}. *)
+
+val map_array : ?sched:sched -> pool -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array pool f xs]: like [Array.map f xs]; element [i] of the
+    result is [f xs.(i)] regardless of which domain computed it.
+    [sched] (default {!default_sched}) picks the distribution
+    mechanism; both produce identical output. *)
+
+val map : ?sched:sched -> pool -> ('a -> 'b) -> 'a list -> 'b list
 (** [map pool f xs = List.map f xs], computed in parallel. *)
 
-val filter_map : pool -> ('a -> 'b option) -> 'a list -> 'b list
+val filter_map : ?sched:sched -> pool -> ('a -> 'b option) -> 'a list -> 'b list
 (** [filter_map pool f xs = List.filter_map f xs]: [f] runs in
     parallel, the filtering keeps list order. *)
 
-val concat_map : pool -> ('a -> 'b list) -> 'a list -> 'b list
+val concat_map : ?sched:sched -> pool -> ('a -> 'b list) -> 'a list -> 'b list
 (** [concat_map pool f xs = List.concat_map f xs]: chunk results are
     concatenated in input order. *)

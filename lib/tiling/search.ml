@@ -1,7 +1,7 @@
 open Zgeom
 open Lattice
 
-let lattice_tilings ?pool p =
+let lattice_tilings ?pool ?sched p =
   let pool = match pool with Some pl -> pl | None -> Parallel.default () in
   let d = Prototile.dim p in
   let m = Prototile.size p in
@@ -19,8 +19,10 @@ let lattice_tilings ?pool p =
       cells
   in
   (* One task per HNF diagonal family; concatenating in diagonal order is
-     exactly the sequential [all_of_index] enumeration. *)
-  Parallel.concat_map pool
+     exactly the sequential [all_of_index] enumeration.  Families differ
+     wildly in size, so the stealing scheduler's dynamic balance is the
+     default ([?sched] falls through to {!Parallel.default_sched}). *)
+  Parallel.concat_map ?sched pool
     (fun diag -> List.filter complete_residues (Sublattice.all_with_diagonal ~dim:d diag))
     (Sublattice.hnf_diagonals ~dim:d m)
 
@@ -76,7 +78,7 @@ type mask_state = {
    order, but only count - no per-solution allocation at all when [keep]
    is absent).  Engine runners return [(raw solutions, count)]; in
    counting mode the list stays empty. *)
-let torus_run ~period ~prototiles ~max_solutions ~engine ~keep ~pool ~collect =
+let torus_run ~period ~prototiles ~max_solutions ~engine ~keep ~pool ~sched ~collect =
   let idx = Sublattice.index period in
   let anchors = Sublattice.cosets period in
   let placements =
@@ -139,6 +141,28 @@ let torus_run ~period ~prototiles ~max_solutions ~engine ~keep ~pool ~collect =
       (sols, List.length sols)
     end
     else ([], Array.fold_left (fun acc (_, c) -> acc + c) 0 parts)
+  in
+  (* Same merge for the stealing scheduler's output: [Steal.run] returns
+     the per-subtree chunks already sorted by canonical path key, i.e.
+     in sequential enumeration order, so concatenating and truncating is
+     again identical to the sequential list. *)
+  let merge_chunks chunks =
+    if collect then begin
+      let sols = take max_solutions (List.concat_map (fun (_, (s, _)) -> s) chunks) in
+      (sols, List.length sols)
+    end
+    else ([], List.fold_left (fun acc (_, (_, c)) -> acc + c) 0 chunks)
+  in
+  (* Root-candidate task distribution for the oracle engines under
+     [`Steal]: whole root subtrees migrate between deques (no lazy
+     splitting - the oracles stay simple), which already fixes the
+     static split's worst case of one domain drawing several fat
+     subtrees. *)
+  let pmap : 'a 'b. ('a -> 'b) -> 'a array -> 'b array =
+   fun f xs ->
+    match sched with
+    | `Static -> Parallel.map_array ~sched:`Static pool f xs
+    | `Steal -> Parallel.steal_map_array pool f xs
   in
   (* Empty universe: the empty placement set is the one exact cover. *)
   let trivial_root () =
@@ -234,7 +258,7 @@ let torus_run ~period ~prototiles ~max_solutions ~engine ~keep ~pool ~collect =
     if root < 0 then trivial_root ()
     else
       merge_parts
-        (Parallel.map_array pool
+        (pmap
            (fun q ->
              let covered = Array.make idx false in
              List.iter (fun c -> covered.(c) <- true) placement_arr.(q).covers;
@@ -257,7 +281,7 @@ let torus_run ~period ~prototiles ~max_solutions ~engine ~keep ~pool ~collect =
     else
       (* Rows of the root column in insertion order = DLX's branch order. *)
       merge_parts
-        (Parallel.map_array pool
+        (pmap
            (fun r ->
              let problem = Dlx.create ~universe:idx rows in
              dlx_results (Dlx.solve ~max_solutions ?keep:dlx_keep ~forced:[ r ] problem))
@@ -455,8 +479,193 @@ let torus_run ~period ~prototiles ~max_solutions ~engine ~keep ~pool ~collect =
       solve ();
       (List.rev !solutions, !count)
     in
+    (* ---- the lazy-splitting steal path ------------------------------ *)
+    (* A task owns the subtree reached by replaying [replay] and then
+       placing [cand]; [key] is its canonical path (branch positions
+       from the root).  The task re-solves with an explicit frame stack
+       mirroring the recursion of [bm_solve] - same selection rule, same
+       candidate order, same liveness test at visit time - so its
+       enumeration order is exactly the sequential engine's within the
+       subtree.  When a thief starves ([should_split]), the task gives
+       away the untried candidate positions of its SHALLOWEST open frame
+       (the biggest remaining pieces of its subtree) as fresh tasks,
+       closes its current result chunk, and continues; the chunk keys
+       are built so that sorting all chunks by key reproduces the
+       sequential solution order (see DESIGN 12).
+
+       Budget safety: each task caps its own output at [max_solutions].
+       That never loses a needed solution - a task's stream is a
+       subsequence of the global enumeration, and any member of the
+       global first-[m] prefix is within the first [m] of every
+       subsequence containing it. *)
+    let rec bm_task ctx ~replay ~cand ~key =
+      let st = new_state () in
+      Array.iter (fun p -> choose st p) replay;
+      (* Liveness in the REPLAYED context (parent placements only) is
+         exactly the sequential visit-time test for this branch. *)
+      if not (Bitset.mem st.live cand) then []
+      else begin
+        choose st cand;
+        bm_solve_steal st ctx ~key
+      end
+    and bm_solve_steal st ctx ~key =
+      let budget = max_solutions in
+      let base_depth = st.depth in
+      (* Frame [f] mirrors recursion level [base_depth + f]: the static
+         candidate row it branches on, the position currently placed
+         ([pos], >= 0 whenever a deeper node is active), and the
+         exclusive upper bound [limit] (lowered when a give-away hands
+         the rest of the row to other tasks). *)
+      let frame_cands = Array.make (max 1 idx) [||] in
+      let frame_pos = Array.make (max 1 idx) (-1) in
+      let frame_limit = Array.make (max 1 idx) 0 in
+      let nf = ref 0 in
+      let chunks_rev = ref [] in
+      let cur_key = ref key in
+      let cur_sols = ref [] in
+      let cur_count = ref 0 in
+      let total = ref 0 in
+      let close_chunk () =
+        chunks_rev := (!cur_key, (List.rev !cur_sols, !cur_count)) :: !chunks_rev;
+        cur_sols := [];
+        cur_count := 0
+      in
+      let record () =
+        if collect then begin
+          let sol = Array.sub st.chosen 0 st.depth in
+          if keep_raw sol then begin
+            cur_sols := sol :: !cur_sols;
+            incr cur_count;
+            incr total
+          end
+        end
+        else
+          match keep with
+          | None ->
+            incr cur_count;
+            incr total
+          | Some _ ->
+            if keep_raw (Array.sub st.chosen 0 st.depth) then begin
+              incr cur_count;
+              incr total
+            end
+      in
+      let give_away () =
+        (* The shallowest frame with untried candidates; every open
+           frame has [pos >= 0] here (frames are advanced before the
+           next descent), so [st.chosen] holds one placement per frame. *)
+        let fi = ref (-1) in
+        (try
+           for f = 0 to !nf - 1 do
+             if frame_pos.(f) + 1 < frame_limit.(f) then begin
+               fi := f;
+               raise_notrace Exit
+             end
+           done
+         with Exit -> ());
+        if !fi >= 0 then begin
+          let f = !fi in
+          let cands = frame_cands.(f) in
+          let replay = Array.sub st.chosen 0 (base_depth + f) in
+          let prefix = ref [] in
+          for j = f - 1 downto 0 do
+            prefix := frame_pos.(j) :: !prefix
+          done;
+          let prefix = !prefix in
+          for t = frame_pos.(f) + 1 to frame_limit.(f) - 1 do
+            let q = cands.(t) in
+            let k = key @ prefix @ [ t ] in
+            Parallel.Steal.spawn ctx ~key:k (fun ctx -> bm_task ctx ~replay ~cand:q ~key:k)
+          done;
+          frame_limit.(f) <- frame_pos.(f) + 1;
+          (* Everything this task still enumerates lives under the
+             branch at position [pos f]; start a chunk keyed there, so
+             it sorts after the closed chunk (its key extends the old
+             one) and before every spawned sibling ([pos f] < [t]). *)
+          close_chunk ();
+          cur_key := key @ prefix @ [ frame_pos.(f) ]
+        end
+      in
+      let descend = ref true in
+      let running = ref true in
+      while !running do
+        if !total >= budget then running := false
+        else if !descend then begin
+          if Parallel.Steal.should_split ctx then give_away ();
+          let best = select st in
+          if best < 0 then begin
+            record ();
+            descend := false
+          end
+          else begin
+            let f = !nf in
+            frame_cands.(f) <- Array.unsafe_get by_cell best;
+            frame_pos.(f) <- -1;
+            frame_limit.(f) <- Array.length frame_cands.(f);
+            nf := f + 1;
+            descend := false
+          end
+        end
+        else if !nf = 0 then running := false
+        else begin
+          (* Retreat: unplace the top frame's placement (if any) and
+             advance it to its next live candidate, or pop it. *)
+          let f = !nf - 1 in
+          if frame_pos.(f) >= 0 then unplace st frame_cands.(f).(frame_pos.(f));
+          let cands = frame_cands.(f) in
+          let limit = frame_limit.(f) in
+          let lw = Bitset.unsafe_words st.live in
+          let p = ref (frame_pos.(f) + 1) in
+          let found = ref false in
+          while (not !found) && !p < limit do
+            let q = Array.unsafe_get cands !p in
+            if
+              Array.unsafe_get lw (Array.unsafe_get pl_word q)
+              land Array.unsafe_get pl_bit q
+              <> 0
+            then found := true
+            else incr p
+          done;
+          if !found then begin
+            frame_pos.(f) <- !p;
+            choose st cands.(!p);
+            descend := true
+          end
+          else nf := f
+        end
+      done;
+      close_chunk ();
+      List.rev !chunks_rev
+    in
+    let bm_steal () =
+      let st0 = new_state () in
+      let root = select st0 in
+      if root < 0 then trivial_root ()
+      else begin
+        let cands = by_cell.(root) in
+        (* Cost model for LPT seeding: placements left alive after each
+           root choice, read off the incrementally maintained live set -
+           a one-place/one-unplace probe per candidate. *)
+        let weights =
+          Array.map
+            (fun q ->
+              place st0 q;
+              let w = float_of_int (Bitset.popcount st0.live) in
+              unplace st0 q;
+              w)
+            cands
+        in
+        let tasks =
+          Array.mapi
+            (fun i q -> ([ i ], fun ctx -> bm_task ctx ~replay:[||] ~cand:q ~key:[ i ]))
+            cands
+        in
+        merge_chunks (Parallel.Steal.run pool ~weights tasks)
+      end
+    in
     let jobs = Parallel.jobs pool in
     if jobs <= 1 then bm_solve (new_state ()) ~budget:max_solutions
+    else if sched = `Steal then bm_steal ()
     else begin
       let st0 = new_state () in
       let root = select st0 in
@@ -464,7 +673,7 @@ let torus_run ~period ~prototiles ~max_solutions ~engine ~keep ~pool ~collect =
       else if Array.length by_cell.(root) >= 2 * jobs then
         (* One task per root candidate, merged in branch order. *)
         merge_parts
-          (Parallel.map_array pool
+          (Parallel.map_array ~sched:`Static pool
              (fun q ->
                let st = new_state () in
                choose st q;
@@ -490,7 +699,7 @@ let torus_run ~period ~prototiles ~max_solutions ~engine ~keep ~pool ~collect =
           by_cell.(root);
         let tasks = Array.of_list (List.rev !tasks) in
         merge_parts
-          (Parallel.map_array pool
+          (Parallel.map_array ~sched:`Static pool
              (fun task ->
                match task with
                | `Leaf q ->
@@ -518,16 +727,20 @@ let torus_run ~period ~prototiles ~max_solutions ~engine ~keep ~pool ~collect =
   in
   if collect then `Sols (List.map to_multi raw_solutions) else `Count total
 
-let cover_torus ~period ~prototiles ?(max_solutions = 64) ?(engine = `Bitmask) ?keep ?pool () =
+let cover_torus ~period ~prototiles ?(max_solutions = 64) ?(engine = `Bitmask) ?keep ?pool
+    ?sched () =
   let pool = match pool with Some pl -> pl | None -> Parallel.default () in
-  match torus_run ~period ~prototiles ~max_solutions ~engine ~keep ~pool ~collect:true with
+  let sched = match sched with Some s -> s | None -> Parallel.default_sched () in
+  match torus_run ~period ~prototiles ~max_solutions ~engine ~keep ~pool ~sched ~collect:true with
   | `Sols sols -> sols
   | `Count _ -> assert false
 
-let count_torus_covers ~period ~prototiles ?(engine = `Bitmask) ?pool () =
+let count_torus_covers ~period ~prototiles ?(engine = `Bitmask) ?pool ?sched () =
   let pool = match pool with Some pl -> pl | None -> Parallel.default () in
+  let sched = match sched with Some s -> s | None -> Parallel.default_sched () in
   match
-    torus_run ~period ~prototiles ~max_solutions:max_int ~engine ~keep:None ~pool ~collect:false
+    torus_run ~period ~prototiles ~max_solutions:max_int ~engine ~keep:None ~pool ~sched
+      ~collect:false
   with
   | `Count n -> n
   | `Sols _ -> assert false

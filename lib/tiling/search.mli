@@ -18,14 +18,16 @@
       translation sets (e.g. [{0, 2}] in [Z] tiles only with
       [T = {0,1} + 4Z]). *)
 
-val lattice_tilings : ?pool:Parallel.pool -> Lattice.Prototile.t -> Lattice.Sublattice.t list
+val lattice_tilings :
+  ?pool:Parallel.pool -> ?sched:Parallel.sched -> Lattice.Prototile.t -> Lattice.Sublattice.t list
 (** All period sublattices [Lambda] of index [|N|] with the cells pairwise
     non-congruent mod [Lambda]; each yields [Single.lattice_tiling].
 
     The HNF enumeration is partitioned by diagonal family
     ({!Lattice.Sublattice.hnf_diagonals}) and the families are checked on
-    the pool's domains (default {!Parallel.default}); the result list is
-    identical to the sequential enumeration at every pool size. *)
+    the pool's domains (default {!Parallel.default}) under [sched]
+    (default {!Parallel.default_sched}); the result list is identical to
+    the sequential enumeration at every pool size and scheduler. *)
 
 val find_lattice_tiling : Lattice.Prototile.t -> Single.t option
 
@@ -52,6 +54,7 @@ val cover_torus :
   ?engine:engine ->
   ?keep:(Multi.t -> bool) ->
   ?pool:Parallel.pool ->
+  ?sched:Parallel.sched ->
   unit ->
   Multi.t list
 (** All exact covers of the quotient by translates of the prototiles
@@ -77,21 +80,31 @@ val cover_torus :
     (default {!Parallel.default}), the search splits at the root
     branching cell - the most constrained cell, which is also the first
     column the sequential engines branch on - and solves one subtree per
-    candidate placement across the domains, merging the per-subtree
-    solution lists in branch order and truncating to [max_solutions].
-    When the root has fewer than twice [jobs] candidates, [`Bitmask]
-    splits two levels deep (tasks expanded in traversal order), so small
-    roots no longer serialize the search.  Each subtree enumerates in
-    the sequential order and the sequential search consumes subtrees in
-    exactly this order, so the returned list (contents {e and} order) is
-    bit-identical to the [jobs = 1] run at every pool size; the
-    determinism tests enforce this. *)
+    candidate placement across the domains.  How subtrees reach domains
+    is [sched]'s business (default {!Parallel.default_sched}):
+
+    - [`Steal]: root subtrees are seeded over per-worker deques
+      longest-first (a live-placement-count cost model) and migrate by
+      work stealing; under [`Bitmask] a running subtree additionally
+      {e re-splits lazily} when a thief starves, giving away the untried
+      branches of its shallowest open frame.  Results commit as chunks
+      keyed by canonical subtree path and are merged in key order.
+    - [`Static]: the original fixed split (two levels deep for
+      [`Bitmask] when the root has fewer than twice [jobs] candidates),
+      merged in branch order - kept as the differential oracle.
+
+    Under both schedulers each subtree enumerates in the sequential
+    order and the merge reproduces the sequential consumption order, so
+    the returned list (contents {e and} order) is bit-identical to the
+    [jobs = 1] run at every pool size, scheduler, and interleaving; the
+    determinism matrix and the steal-schedule fuzzer enforce this. *)
 
 val count_torus_covers :
   period:Lattice.Sublattice.t ->
   prototiles:Lattice.Prototile.t list ->
   ?engine:engine ->
   ?pool:Parallel.pool ->
+  ?sched:Parallel.sched ->
   unit ->
   int
 (** Number of exact covers of the quotient - the length of the full

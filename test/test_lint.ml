@@ -153,6 +153,51 @@ let test_r3_task_local_clean () =
   in
   check_rule_count "task-local mutation is fine" "R3" 0 report
 
+let test_r3_steal_violations () =
+  (* The stealing entry points hide their worker-run closures inside
+     task tuples; the scan must find them there, and inside a direct
+     [spawn] body. *)
+  let report =
+    scan
+      [
+        ( "lib/core/stealbad.ml",
+          "let bad_run pool =\n\
+          \  let hits = ref 0 in\n\
+          \  Parallel.Steal.run pool [| ([ 0 ], (fun _ctx -> incr hits; [ ([ 0 ], !hits) ])) |]\n\
+           let bad_spawn ctx =\n\
+          \  let seen = Hashtbl.create 4 in\n\
+          \  Parallel.Steal.spawn ctx ~key:[ 1 ] (fun _ctx -> Hashtbl.replace seen 1 1; [])\n" );
+        ( "lib/core/stealbad.mli",
+          "val bad_run : Parallel.pool -> (int list * int) list\n\
+           val bad_spawn : int Parallel.Steal.ctx -> unit\n" );
+      ]
+  in
+  check_rule_count "captured ref in a task tuple, captured table in a spawn body" "R3" 2 report
+
+let test_r3_steal_task_local_clean () =
+  (* Same shape, but every mutation targets state created inside the
+     task body - and the tasks array is built by a nested [Array.map],
+     which the scan must descend through without flagging the builder
+     closure itself. *)
+  let report =
+    scan
+      [
+        ( "lib/core/stealok.ml",
+          "let clean_run pool xs =\n\
+          \  Parallel.Steal.run pool\n\
+          \    (Array.map\n\
+          \       (fun x ->\n\
+          \         ( [ x ],\n\
+          \           (fun _ctx ->\n\
+          \             let acc = ref 0 in\n\
+          \             for i = 1 to x do acc := !acc + i done;\n\
+          \             [ ([ x ], !acc) ]) ))\n\
+          \       xs)\n" );
+        ("lib/core/stealok.mli", "val clean_run : Parallel.pool -> int array -> (int list * int) list\n");
+      ]
+  in
+  check_rule_count "task-local mutation under Steal.run is fine" "R3" 0 report
+
 (* ---------- R4: crash safety ---------- *)
 
 let test_r4_violation () =
@@ -317,6 +362,8 @@ let () =
         [
           Alcotest.test_case "captured mutation flagged" `Quick test_r3_violations;
           Alcotest.test_case "task-local mutation clean" `Quick test_r3_task_local_clean;
+          Alcotest.test_case "steal task capture flagged" `Quick test_r3_steal_violations;
+          Alcotest.test_case "steal task-local clean" `Quick test_r3_steal_task_local_clean;
         ] );
       ( "r4-crash-safety",
         [

@@ -1,8 +1,10 @@
 (* Tests for the domain pool and for the determinism contract of every
-   parallel entry point: at jobs = 1, 2 and 4 the search engines and the
+   parallel entry point: at jobs = 1, 2, 4 and 8, under both the static
+   and the work-stealing scheduler, the search engines and the
    simulation sweep must return values structurally identical to the
    sequential run - not just equal solution sets, the same lists in the
-   same order. *)
+   same order.  The steal-schedule fuzzer additionally randomizes victim
+   selection to exercise schedules round-robin stealing never takes. *)
 
 open Lattice
 
@@ -135,55 +137,78 @@ let test_cover_torus_multi_prototile_deterministic () =
 
 let rec take n = function [] -> [] | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
 
+let scheds : (Parallel.sched * string) list = [ (`Static, "static"); (`Steal, "steal") ]
+
 let test_three_way_engine_oracle () =
   (* The strongest form of the engine contract: over a randomized corpus
-     of torus instances, all three engines return the same ORDERED
-     solution list, at every pool size, and truncation to any
-     [max_solutions] is a prefix of that list.  Instance generation
-     mirrors test_tiling's differential corpus (one Splitmix64 stream, so
-     a failure replays from the loop index). *)
+     of torus instances, all three engines under both schedulers return
+     the same ORDERED solution list, at every pool size, and truncation
+     to any [max_solutions] is a prefix of that list.  Instance
+     generation mirrors test_tiling's differential corpus (one
+     Splitmix64 stream, so a failure replays from the loop index).
+     Pools are created once per size: the matrix is
+     scheduler x engine x jobs x prefix, and per-solve domain spawning
+     would dominate it. *)
   let sm = Prng.Splitmix64.create 2027L in
   let draw bound =
     Int64.to_int (Int64.unsigned_rem (Prng.Splitmix64.next sm) (Int64.of_int bound))
   in
-  for instance = 1 to 12 do
-    let a = 1 + draw 3 in
-    let b = 1 + draw 3 in
-    let b = if a * b < 2 then 2 else b in
-    let c = draw a in
-    let period = Sublattice.of_basis [| [| a; 0 |]; [| c; b |] |] in
-    let rng = Prng.Xoshiro.create (Prng.Splitmix64.next sm) in
-    let poly () = Randomtile.polyomino rng ~cells:(2 + draw 3) in
-    (* A single-cell filler keeps every instance satisfiable. *)
-    let prototiles =
-      (poly () :: (if draw 2 = 0 then [ poly () ] else []))
-      @ [ Prototile.of_cells [ Zgeom.Vec.zero 2 ] ]
-    in
-    let solve ~engine ~jobs ~max_solutions =
-      Parallel.with_pool ~jobs (fun pool ->
-          Tiling.Search.cover_torus ~period ~prototiles ~max_solutions ~engine ~pool ())
-    in
-    let reference = solve ~engine:`Bitmask ~jobs:1 ~max_solutions:100_000 in
-    List.iter
-      (fun (engine, ename) ->
+  let pools = List.map (fun jobs -> (jobs, Parallel.create ~jobs)) [ 1; 2; 4; 8 ] in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun (_, pool) -> Parallel.shutdown pool) pools)
+    (fun () ->
+      for instance = 1 to 12 do
+        let a = 1 + draw 3 in
+        let b = 1 + draw 3 in
+        let b = if a * b < 2 then 2 else b in
+        let c = draw a in
+        let period = Sublattice.of_basis [| [| a; 0 |]; [| c; b |] |] in
+        let rng = Prng.Xoshiro.create (Prng.Splitmix64.next sm) in
+        let poly () = Randomtile.polyomino rng ~cells:(2 + draw 3) in
+        (* A single-cell filler keeps every instance satisfiable. *)
+        let prototiles =
+          (poly () :: (if draw 2 = 0 then [ poly () ] else []))
+          @ [ Prototile.of_cells [ Zgeom.Vec.zero 2 ] ]
+        in
+        let solve ~engine ~sched ~pool ~max_solutions =
+          Tiling.Search.cover_torus ~period ~prototiles ~max_solutions ~engine ~sched ~pool ()
+        in
+        let reference =
+          solve ~engine:`Bitmask ~sched:`Static ~pool:(List.assoc 1 pools)
+            ~max_solutions:100_000
+        in
+        let len = List.length reference in
+        (* Every short prefix, then a sparse ladder up to and past the
+           full enumeration - the budget must bite correctly at every
+           boundary without the matrix exploding. *)
+        let prefixes =
+          List.sort_uniq Stdlib.compare
+            (List.filter (fun m -> m >= 1) [ 1; 2; 3; 5; 8; 13; len - 1; len; len + 7 ])
+        in
         List.iter
-          (fun jobs ->
-            let full = solve ~engine ~jobs ~max_solutions:100_000 in
-            Alcotest.(check bool)
-              (Printf.sprintf "instance %d: %s jobs=%d = reference" instance ename jobs)
-              true (full = reference);
+          (fun (engine, ename) ->
             List.iter
-              (fun m ->
-                let truncated = solve ~engine ~jobs ~max_solutions:m in
-                Alcotest.(check bool)
-                  (Printf.sprintf "instance %d: %s jobs=%d max=%d is a prefix" instance ename
-                     jobs m)
-                  true
-                  (truncated = take m reference))
-              [ 1; 2; 5 ])
-          [ 1; 2; 4 ])
-      engines
-  done
+              (fun (sched, sname) ->
+                List.iter
+                  (fun (jobs, pool) ->
+                    let full = solve ~engine ~sched ~pool ~max_solutions:100_000 in
+                    Alcotest.(check bool)
+                      (Printf.sprintf "instance %d: %s/%s jobs=%d = reference" instance ename
+                         sname jobs)
+                      true (full = reference);
+                    List.iter
+                      (fun m ->
+                        let truncated = solve ~engine ~sched ~pool ~max_solutions:m in
+                        Alcotest.(check bool)
+                          (Printf.sprintf "instance %d: %s/%s jobs=%d max=%d is a prefix"
+                             instance ename sname jobs m)
+                          true
+                          (truncated = take m reference))
+                      prefixes)
+                  pools)
+              scheds)
+          engines
+      done)
 
 let test_count_matches_enumeration () =
   (* [count_torus_covers] = length of the full [cover_torus] enumeration,
@@ -214,6 +239,114 @@ let test_count_matches_enumeration () =
   check "domino 3x1"
     ~period:(Sublattice.of_basis [| [| 3; 0 |]; [| 0; 1 |] |])
     ~prototiles:[ Prototile.rect 2 1 ]
+
+(* ---------- steal-schedule fuzzer ---------- *)
+
+(* A self-splitting range task: enumerate [lo, hi), and whenever a thief
+   is starving give away the upper half as a fresh task.  Chunks and
+   spawned tasks are keyed by their start index, so key order is numeric
+   order and the merged output must be the plain 0..n-1 enumeration no
+   matter how the range was carved up.  This is the same
+   key-the-continuation discipline the bitmask engine uses, in the
+   smallest form that still exercises it. *)
+let rec range_body ~leaf ~lo ~hi ctx =
+  let hi = ref hi in
+  let i = ref lo in
+  let acc = ref [] in
+  while !i < !hi do
+    if Parallel.Steal.should_split ctx && !hi - !i > 2 then begin
+      let mid = (!i + !hi + 1) / 2 in
+      let top = !hi in
+      Parallel.Steal.spawn ctx ~key:[ mid ] (range_body ~leaf ~lo:mid ~hi:top);
+      hi := mid
+    end;
+    acc := leaf !i :: !acc;
+    incr i
+  done;
+  [ ([ lo ], List.rev !acc) ]
+
+let test_steal_schedule_fuzzer () =
+  (* ~100 seeded runs with victim selection driven off a Xoshiro stream
+     (mutex-protected: the hook runs concurrently on worker domains).
+     Whatever steal schedule the stream induces, the merged output must
+     be bit-identical to the sequential enumeration.  Task sizes are
+     deliberately lopsided so thieves starve and force lazy splits. *)
+  let n = 1000 in
+  (* Leaves burn a couple of microseconds each so the fat task lives
+     long enough for thieves to starve against it even on one core -
+     with trivial leaves the lazy-split path almost never fires. *)
+  let leaf i =
+    let h = ref i in
+    for _ = 1 to 2000 do
+      h := (!h * 1103515245) + 12345
+    done;
+    !h lxor i
+  in
+  let expected = List.init n leaf in
+  let pools = List.map (fun jobs -> (jobs, Parallel.create ~jobs)) [ 2; 4; 8 ] in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun (_, pool) -> Parallel.shutdown pool) pools)
+    (fun () ->
+      for seed = 1 to 100 do
+        let jobs, pool = List.nth pools (seed mod 3) in
+        let rng = Prng.Xoshiro.create (Int64.of_int (0x5eed + seed)) in
+        let mu = Mutex.create () in
+        let victim ~thief:_ ~round:_ ~victims =
+          Mutex.lock mu;
+          let v = Prng.Xoshiro.int rng victims in
+          Mutex.unlock mu;
+          v
+        in
+        (* One fat task and two slivers: the fat one must be stolen from
+           and re-split for the others to ever eat. *)
+        let cuts = [ (0, n - 100); (n - 100, n - 50); (n - 50, n) ] in
+        let tasks =
+          Array.of_list
+            (List.map (fun (lo, hi) -> ([ lo ], range_body ~leaf ~lo ~hi)) cuts)
+        in
+        let weights = Array.of_list (List.map (fun (lo, hi) -> float (hi - lo)) cuts) in
+        let chunks = Parallel.Steal.run pool ~victim ~weights tasks in
+        let got = List.concat_map snd chunks in
+        Alcotest.(check (list int))
+          (Printf.sprintf "seed %d jobs=%d merged output" seed jobs)
+          expected got
+      done)
+
+(* ---------- adversarial skewed instance (EXP-P3) ---------- *)
+
+let test_skew_instance () =
+  (* The benchmark's skewed instance really is skewed - one root branch
+     owns at least 90% of the covers - and both schedulers agree with
+     the sequential count and enumeration on it. *)
+  let n = 20 in
+  let share = Microbench.skew_root_share ~n in
+  Alcotest.(check bool)
+    (Printf.sprintf "fat root branch share %.3f >= 0.9" share)
+    true (share >= 0.9);
+  let period, prototiles = Microbench.skew_instance ~n in
+  let expected = 1 + (n * n) in
+  let reference =
+    Parallel.with_pool ~jobs:1 (fun pool ->
+        Tiling.Search.cover_torus ~period ~prototiles ~max_solutions:max_int ~pool ())
+  in
+  Alcotest.(check int) "cover count is 1 + n^2" expected (List.length reference);
+  List.iter
+    (fun (sched, sname) ->
+      List.iter
+        (fun jobs ->
+          Parallel.with_pool ~jobs (fun pool ->
+              Alcotest.(check int)
+                (Printf.sprintf "count %s jobs=%d" sname jobs)
+                expected
+                (Tiling.Search.count_torus_covers ~period ~prototiles ~pool ~sched ());
+              Alcotest.(check bool)
+                (Printf.sprintf "enumeration %s jobs=%d identical" sname jobs)
+                true
+                (Tiling.Search.cover_torus ~period ~prototiles ~max_solutions:max_int ~pool
+                   ~sched ()
+                = reference)))
+        [ 2; 4 ])
+    scheds
 
 let test_chromatic_number_deterministic () =
   (* Random graphs of varying density; the parallel k-colorability
@@ -288,6 +421,8 @@ let () =
           Alcotest.test_case "cover_torus multi" `Quick test_cover_torus_multi_prototile_deterministic;
           Alcotest.test_case "three-way engine oracle" `Quick test_three_way_engine_oracle;
           Alcotest.test_case "count = enumeration length" `Quick test_count_matches_enumeration;
+          Alcotest.test_case "steal-schedule fuzzer" `Quick test_steal_schedule_fuzzer;
+          Alcotest.test_case "skewed instance" `Quick test_skew_instance;
           Alcotest.test_case "chromatic number" `Quick test_chromatic_number_deterministic;
           Alcotest.test_case "ground-rule minimum" `Quick test_ground_rule_minimum_deterministic;
           Alcotest.test_case "netsim sweep" `Quick test_run_sweep_deterministic;
