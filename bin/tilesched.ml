@@ -690,6 +690,197 @@ let lint_cmd =
           interface coverage (R5). Exits 1 if any finding survives the baseline.")
     Term.(term_result (const run $ format_arg $ baseline_arg $ root_arg $ rules_arg))
 
+(* ---------- lifetime ---------- *)
+
+let lifetime_cmd =
+  let tile_arg =
+    Arg.(
+      value
+      & opt tile_conv (Prototile.tetromino `I)
+      & info [ "t"; "tile" ] ~docv:"TILE" ~doc:"Interference prototile (default tet-I).")
+  in
+  let rotate_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "rotate" ] ~docv:"K"
+          ~doc:
+            "Rotate over up to K translation-inequivalent covers of the torus (at least 2; the \
+             demo wants 3+).")
+  in
+  let deaths_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "deaths" ] ~docv:"N"
+          ~doc:"Seed-derived random sensor deaths injected into the battery simulation.")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("round-robin", Lifetime.Rotation.Round_robin);
+               ("least-depleted", Lifetime.Rotation.Least_depleted_first) ])
+          Lifetime.Rotation.Least_depleted_first
+      & info [ "policy" ] ~docv:"POLICY" ~doc:"Rotation policy: round-robin or least-depleted.")
+  in
+  let battery_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "battery" ] ~docv:"UNITS" ~doc:"Per-node battery capacity for the simulation.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let width_arg =
+    Arg.(value & opt int 8 & info [ "w"; "width" ] ~docv:"W" ~doc:"Deployment torus width.")
+  in
+  let height_arg =
+    Arg.(value & opt int 8 & info [ "h"; "height" ] ~docv:"H" ~doc:"Deployment torus height.")
+  in
+  let run () tile width height rotate deaths policy battery seed =
+    let ( let* ) = Result.bind in
+    let m = Prototile.size tile in
+    let* () = if rotate >= 2 then Ok () else Error (`Msg "--rotate must be at least 2") in
+    let* () = if deaths >= 0 then Ok () else Error (`Msg "--deaths must be non-negative") in
+    let torus = Sublattice.of_rows [ Zgeom.Vec.make2 width 0; Zgeom.Vec.make2 0 height ] in
+    Printf.printf "prototile (m = %d):\n%s\n" m (Render.Ascii.prototile tile);
+
+    (* 1. Rotation: distinct covers of the deployment torus, balanced so
+       leadership actually moves, composed into an epoch plan. *)
+    let covers =
+      Tiling.Search.distinct_torus_covers ~period:torus ~prototiles:[ tile ] ~max_classes:rotate ()
+    in
+    let k = List.length covers in
+    let* () =
+      if k >= 2 then Ok ()
+      else
+        Error
+          (`Msg
+             (Printf.sprintf
+                "the %dx%d torus admits %d distinct cover class(es) of this prototile; rotation \
+                 needs at least 2 (try a larger torus)"
+                width height k))
+    in
+    let* rot =
+      Result.map_error
+        (fun e -> `Msg e)
+        (Lifetime.Rotation.make
+           ~covers:(Lifetime.Rotation.balance covers)
+           ~epoch:m ~epochs:(3 * k) ~policy)
+    in
+    let duty = Lifetime.Rotation.duty rot in
+    let static_duty = Lifetime.Rotation.static_duty rot in
+    let peak a = Array.fold_left max 0.0 a in
+    Printf.printf "rotation: %d distinct covers of the %dx%d torus, policy %s\n" k width height
+      (Lifetime.Rotation.policy_name policy);
+    Printf.printf "plan (epoch = %d slots): [%s]\n" m
+      (String.concat "; "
+         (Array.to_list (Array.map string_of_int (Lifetime.Rotation.plan rot))));
+    Printf.printf "collision-free at every slot: %b\n" (Lifetime.Rotation.collision_free rot);
+    Printf.printf "leader duty: static peak %.2f spread %.4f -> rotating peak %.2f spread %.4f\n"
+      (peak static_duty)
+      (Lifetime.Rotation.spread static_duty)
+      (peak duty) (Lifetime.Rotation.spread duty);
+    Printf.printf "rotation strictly tightens the duty spread: %b\n\n"
+      (Lifetime.Rotation.spread duty < Lifetime.Rotation.spread static_duty);
+
+    (* 2. Local repair: kill a tile leader, re-tile a wrapped window on
+       the deployment torus, certify the spliced schedule. *)
+    let* base =
+      match Tiling.Search.find_tiling tile with
+      | Some t -> Ok t
+      | None -> Error (`Msg "prototile admits no (discovered) tiling; nothing to repair")
+    in
+    let period = Tiling.Single.period base in
+    let deployment =
+      if List.for_all (Sublattice.mem period) (Sublattice.generators torus) then torus
+      else Sublattice.of_rows (List.map (Zgeom.Vec.scale 4) (Sublattice.generators period))
+    in
+    let dead = List.hd (Tiling.Single.offsets base) in
+    let* r = Result.map_error (fun e -> `Msg ("repair infeasible: " ^ e))
+               (Lifetime.Repair.repair ~deployment base ~dead) in
+    let st = r.Lifetime.Repair.stats in
+    Printf.printf "repair: killed the tile leader at %s on a deployment torus of %d sensors\n"
+      (Zgeom.Vec.to_string dead) st.Lifetime.Repair.torus_index;
+    Printf.printf "window: %d cells, %d base tiles removed, %d growth rings; %d tiles spliced in\n"
+      st.Lifetime.Repair.window_cells st.Lifetime.Repair.window_tiles st.Lifetime.Repair.rings
+      (List.length r.Lifetime.Repair.patch);
+    Printf.printf "dead leader demoted: %b; slot assignments changed: %d\n"
+      (not (Lifetime.Repair.is_leader r.Lifetime.Repair.patched dead))
+      (List.length r.Lifetime.Repair.changed);
+    Printf.printf "slots on window: %d (|N| = %d); window optimal: %b\n"
+      (Lifetime.Repair.slots_on_window r) m (Lifetime.Repair.window_optimal r);
+    Printf.printf "certificate checked: true; unchanged outside the window: %b\n\n"
+      (Lifetime.Repair.local_outside r);
+
+    (* 3. Battery simulation: static vs rotating leadership under the
+       same injected faults, swept over two seeds through run_sweep so
+       the per-seed results are reproducible at every -j / --sched. *)
+    let* static_rot =
+      Result.map_error
+        (fun e -> `Msg e)
+        (Lifetime.Rotation.make ~covers:[ List.hd covers ] ~epoch:m ~epochs:1
+           ~policy:Lifetime.Rotation.Round_robin)
+    in
+    let duration = 300 in
+    let config ?(random_deaths = 0) rot =
+      { (Netsim.Sim.default_config ~mac:(Lifetime.Rotation.mac rot)) with
+        Netsim.Sim.width; height; prototile = tile; duration;
+        workload = Netsim.Workload.Periodic { interval = 40 };
+        seed = Int64.of_int seed;
+        faults =
+          { Netsim.Faults.none with
+            Netsim.Faults.battery = Some battery;
+            random_deaths;
+            extra_cost = Some (Lifetime.Rotation.extra_cost rot ~leader_cost:1.0) } }
+    in
+    let seeds = [ Int64.of_int seed; Int64.of_int (seed + 1) ] in
+    let sweep cfg = Netsim.Sim.run_sweep cfg ~seeds in
+    (* Battery race first, with no injected faults: every death below is
+       a battery death, so first_death is the lifetime metric proper. *)
+    let statics = sweep (config static_rot) and rotatings = sweep (config rot) in
+    Printf.printf
+      "simulation: battery %.1f, leader surcharge 1.0/slot, %d slots, 2-seed sweep\n" battery
+      duration;
+    List.iteri
+      (fun i (s, r) ->
+        let fd res = Option.value ~default:duration (Netsim.Sim.first_death res) in
+        Printf.printf
+          "seed %-6Ld first battery death: static slot %d vs rotating slot %d (%.2fx); dead at \
+           end %d vs %d\n"
+          (List.nth seeds i) (fd s) (fd r)
+          (float_of_int (fd r) /. float_of_int (fd s))
+          (List.length s.Netsim.Sim.deaths)
+          (List.length r.Netsim.Sim.deaths))
+      (List.combine statics rotatings);
+    (* Then the same rotating network under injected faults. *)
+    let faulty = sweep (config ~random_deaths:deaths rot) in
+    List.iteri
+      (fun i r ->
+        Printf.printf
+          "seed %-6Ld with %d injected random death(s): %d dead, %d alive at end\n"
+          (List.nth seeds i) deaths
+          (List.length r.Netsim.Sim.deaths)
+          r.Netsim.Sim.alive_at_end)
+      faulty;
+    let model = (config rot).Netsim.Sim.energy_model in
+    Printf.printf "packet and energy conservation hold on every run: %b\n"
+      (List.for_all
+         (fun res ->
+           Netsim.Sim.conservation_ok res && Netsim.Sim.energy_conservation_ok model res)
+         (statics @ rotatings @ faulty));
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "lifetime"
+       ~doc:
+         "Lifetime demo: rotate the schedule over distinct covers of the deployment torus \
+          (tighter leader-duty spread), repair a leader death by re-tiling a wrapped window \
+          (certified, locally optimal), and compare static vs rotating battery lifetimes under \
+          injected faults. Output is deterministic and bit-identical at every -j and --sched.")
+    Term.(
+      term_result
+        (const run $ jobs_term $ tile_arg $ width_arg $ height_arg $ rotate_arg $ deaths_arg
+       $ policy_arg $ battery_arg $ seed_arg))
+
 let bench_cmd =
   let json_arg =
     Arg.(
@@ -722,14 +913,28 @@ let bench_cmd =
              instance counted sequentially and at jobs=4 under each scheduler, emitted as \
              BENCH_6.json.")
   in
+  let lifetime_arg =
+    Arg.(
+      value & flag
+      & info [ "lifetime" ]
+          ~doc:
+            "Run (or validate) the EXP-L1 lifetime suite instead: static vs rotating \
+             first-battery-death slots and the repair-solver timings, emitted as BENCH_7.json.")
+  in
   let read_file path =
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let run () json validate quota skew =
-    let required = if skew then Microbench.required_skew else Microbench.required in
+  let run () json validate quota skew lifetime =
+    if skew && lifetime then Error (`Msg "--skew and --lifetime are mutually exclusive")
+    else
+    let required =
+      if lifetime then Microbench.required_lifetime
+      else if skew then Microbench.required_skew
+      else Microbench.required
+    in
     match validate with
     | Some path -> (
       match Microbench.validate_json ~required (read_file path) with
@@ -740,7 +945,11 @@ let bench_cmd =
     | None ->
       if quota <= 0.0 then Error (`Msg "quota must be positive")
       else begin
-        let rows = if skew then Microbench.run_skew ~quota () else Microbench.run ~quota () in
+        let rows =
+          if lifetime then Microbench.run_lifetime ~quota ()
+          else if skew then Microbench.run_skew ~quota ()
+          else Microbench.run ~quota ()
+        in
         Printf.printf "%-42s %16s\n" "benchmark" "ns/call";
         List.iter
           (fun r -> Printf.printf "%-42s %16.1f\n" r.Microbench.name r.Microbench.ns_per_call)
@@ -764,8 +973,11 @@ let bench_cmd =
        ~doc:
          "Run the Bechamel micro-benchmark suite (including the three torus exact-cover engines) \
           and optionally emit or validate the machine-readable BENCH_5.json artifact; with \
-          $(b,--skew), the EXP-P3 static-vs-steal scheduler suite and BENCH_6.json instead.")
-    Term.(term_result (const run $ jobs_term $ json_arg $ validate_arg $ quota_arg $ skew_arg))
+          $(b,--skew), the EXP-P3 static-vs-steal scheduler suite and BENCH_6.json instead; with \
+          $(b,--lifetime), the EXP-L1 rotation/repair suite and BENCH_7.json.")
+    Term.(
+      term_result
+        (const run $ jobs_term $ json_arg $ validate_arg $ quota_arg $ skew_arg $ lifetime_arg))
 
 let () =
   let doc = "Collision-free sensor scheduling by lattice tilings (Klappenecker-Lee-Welch 2008)" in
@@ -773,4 +985,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "tilesched" ~version:"1.0.0" ~doc)
           [ figure_cmd; exact_cmd; schedule_cmd; color_cmd; simulate_cmd; export_cmd; sync_cmd;
-            certify_cmd; serve_cmd; loadgen_cmd; precompute_cmd; bench_cmd; lint_cmd ]))
+            certify_cmd; serve_cmd; loadgen_cmd; precompute_cmd; lifetime_cmd; bench_cmd;
+            lint_cmd ]))

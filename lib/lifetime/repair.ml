@@ -1,0 +1,176 @@
+open Zgeom
+open Lattice
+
+type stats = {
+  window_cells : int;
+  window_tiles : int;
+  rings : int;
+  torus_index : int;
+}
+
+type t = {
+  base : Tiling.Single.t;
+  dead : Vec.t;
+  deployment : Sublattice.t;
+  window : Vec.Set.t;
+  removed : Vec.t list;
+  patch : Vec.t list;
+  patched : Tiling.Single.t;
+  base_schedule : Core.Schedule.t;
+  schedule : Core.Schedule.t;
+  certificate : Core.Certificate.t;
+  changed : Vec.t list;
+  stats : stats;
+}
+
+let is_leader base v = Tiling.Single.in_translation_set base v
+
+(* Damaged tiles are tracked as plane translations (so the window stays a
+   plain subset of Z^d the finite-domain criterion understands), deduped
+   mod the deployment lattice: two plane tiles congruent mod the
+   deployment are the same torus tile, and keeping both would make the
+   window's cells collide in the quotient. *)
+let add_tile dep s tiles =
+  if Vec.Set.exists (fun s' -> Sublattice.congruent dep s s') tiles then tiles
+  else Vec.Set.add s tiles
+
+let tiles_meeting dep base set tiles =
+  Vec.Set.fold (fun w acc -> add_tile dep (fst (Tiling.Single.tile_of base w)) acc) set tiles
+
+let region_of_tiles base tiles =
+  let n = Tiling.Single.prototile base in
+  Vec.Set.fold (fun s acc -> Vec.Set.union (Prototile.translate s n) acc) tiles Vec.Set.empty
+
+(* One ring of growth: every base tile whose cells interfere with the
+   current region (difference-set dilation), i.e. the next shell of
+   tiles the bitmask solver may rearrange. *)
+let grow dep base tiles =
+  let n = Tiling.Single.prototile base in
+  let region = region_of_tiles base tiles in
+  let dilated =
+    Vec.Set.fold
+      (fun v acc ->
+        Vec.Set.fold (fun d acc -> Vec.Set.add (Vec.add v d) acc) (Prototile.difference_set n) acc)
+      region Vec.Set.empty
+  in
+  tiles_meeting dep base dilated tiles
+
+let repair ?(max_rings = 8) ~deployment base ~dead =
+  let n = Tiling.Single.prototile base in
+  let period = Tiling.Single.period base in
+  let m = Prototile.size n in
+  if Sublattice.dim deployment <> Sublattice.dim period then
+    Error "Repair.repair: deployment dimension mismatch"
+  else if not (List.for_all (Sublattice.mem period) (Sublattice.generators deployment)) then
+    Error "Repair.repair: deployment must be a sublattice of the tiling period"
+  else begin
+    let base_schedule = Core.Schedule.of_tiling base in
+    let core = Vec.Set.map (Vec.add dead) (Prototile.minkowski_sum n n) in
+    let tiles0 =
+      tiles_meeting deployment base core
+        (add_tile deployment (fst (Tiling.Single.tile_of base dead)) Vec.Set.empty)
+    in
+    let finish ~window ~removed ~patch ~patched ~rings =
+      let schedule = Core.Schedule.of_tiling patched in
+      let certificate = Core.Certificate.build patched in
+      match Core.Certificate.check certificate with
+      | Error f ->
+        Error (Format.asprintf "repair certificate rejected: %a" Core.Certificate.pp_failure f)
+      | Ok () ->
+        let changed =
+          List.filter
+            (fun v -> Core.Schedule.slot_at schedule v <> Core.Schedule.slot_at base_schedule v)
+            (Vec.Set.elements window)
+        in
+        Ok
+          {
+            base;
+            dead;
+            deployment;
+            window;
+            removed;
+            patch;
+            patched;
+            base_schedule;
+            schedule;
+            certificate;
+            changed;
+            stats =
+              {
+                window_cells = Vec.Set.cardinal window;
+                window_tiles = List.length removed;
+                rings;
+                torus_index = Sublattice.index deployment;
+              };
+          }
+    in
+    if not (is_leader base dead) then
+      (* A member died, not a tile leader: every tile keeps its leader, so
+         the schedule stands as is - the repair is the identity patch. *)
+      finish ~window:(region_of_tiles base tiles0) ~removed:[] ~patch:[] ~patched:base ~rings:0
+    else begin
+      let deadr = Sublattice.reduce deployment dead in
+      let total_tiles = Sublattice.index deployment / m in
+      let rec attempt tiles rings =
+        let window = region_of_tiles base tiles in
+        let keep ts = not (List.exists (Vec.equal deadr) ts) in
+        match
+          Tiling.Search.cover_region ~region:(Vec.Set.elements window) ~prototile:n
+            ~torus:deployment ~max_solutions:1 ~keep ()
+        with
+        | patch :: _ -> Ok (tiles, window, patch, rings)
+        | [] ->
+          if rings >= max_rings || Vec.Set.cardinal tiles >= total_tiles then
+            Error
+              (Printf.sprintf
+                 "no leader-avoiding cover of the damaged window within %d rings" rings)
+          else
+            let grown = grow deployment base tiles in
+            if Vec.Set.cardinal grown = Vec.Set.cardinal tiles then
+              Error "damaged window cannot grow further"
+            else attempt grown (rings + 1)
+      in
+      match attempt tiles0 0 with
+      | Error _ as e -> e
+      | Ok (tiles, window, patch, rings) ->
+        (* Splice on the deployment quotient: the base tiling, viewed with
+           the finer period, keeps every tile outside the window and swaps
+           the damaged ones for the patch. *)
+        let lam_reps = List.filter (Sublattice.mem period) (Sublattice.cosets deployment) in
+        let full =
+          List.concat_map
+            (fun o -> List.map (fun r -> Sublattice.reduce deployment (Vec.add o r)) lam_reps)
+            (Tiling.Single.offsets base)
+          |> Vec.Set.of_list
+        in
+        let removed = Vec.Set.elements tiles in
+        let removed_set = Vec.Set.of_list (List.map (Sublattice.reduce deployment) removed) in
+        if not (Vec.Set.subset removed_set full) then
+          Error "internal: damaged tiles not among the base tiling's translations"
+        else
+          let patch_set = Vec.Set.of_list patch in
+          let offsets =
+            Vec.Set.elements (Vec.Set.union (Vec.Set.diff full removed_set) patch_set)
+          in
+          (match Tiling.Single.make ~prototile:n ~period:deployment ~offsets with
+          | Error e -> Error ("internal: patched tiling invalid: " ^ e)
+          | Ok patched -> finish ~window ~removed ~patch ~patched ~rings)
+    end
+  end
+
+let slots_on_window t =
+  List.length
+    (List.sort_uniq compare
+       (List.map (Core.Schedule.slot_at t.schedule) (Vec.Set.elements t.window)))
+
+let window_optimal t =
+  Core.Finite.meets_optimality_criterion t.window (Tiling.Single.prototile t.base)
+  && slots_on_window t = Prototile.size (Tiling.Single.prototile t.base)
+
+let local_outside t =
+  let orbit = Vec.Set.map (Sublattice.reduce t.deployment) t.window in
+  List.for_all
+    (fun v ->
+      Vec.Set.mem v orbit
+      || Core.Schedule.slot_at t.schedule v = Core.Schedule.slot_at t.base_schedule v)
+    (Sublattice.cosets t.deployment)

@@ -1,0 +1,101 @@
+(** Provably-local schedule repair after a sensor death (the paper's
+    Conclusions, operationalized).
+
+    When a tile {e leader} dies - the sensor at a translation point of
+    the tiling - its tile is headless, and the schedule must hand
+    leadership elsewhere while changing as few slot assignments as
+    possible.
+
+    {2 Why repair lives on the deployment torus}
+
+    A purely plane-local repair is impossible: an exact cover of a
+    finite region of [Z^d] by translates of a single prototile is
+    {e unique} when it exists (the lexicographically least uncovered
+    cell forces its tile, and induction finishes the argument -
+    {!Tiling.Search.cover_region} documents the same fact), so no
+    finite window can be re-covered with the dead leader demoted.  The
+    deployment is finite, though: a [deployment] sublattice
+    [Lambda_dep <= Lambda] names the torus [Z^d / Lambda_dep] the
+    network actually occupies, and {e wrapped} windows on that torus
+    escape the rigidity (no global order survives the wrap).  The
+    classic example: one full wrapped row of horizontal bars slides
+    freely, a bounded - one-row! - repair that re-anchors every tile in
+    it.
+
+    {2 The algorithm}
+
+    + the window [D] starts as the union of the base tiles meeting
+      [dead + (N + N)], so [D] contains that translate of [N + N] and
+      the paper's finite-domain optimality criterion holds by
+      construction ({!Core.Finite.meets_optimality_criterion});
+    + the bitmask region solver ({!Tiling.Search.cover_region} in torus
+      mode) finds an exact cover of [D] mod [Lambda_dep] by prototile
+      translates {e avoiding} the dead position as a leader, growing
+      the window by one ring of tiles (up to [max_rings]) until the
+      window wraps enough to admit one;
+    + the patch splices on the quotient: the base tiling, re-read with
+      period [Lambda_dep], keeps every tile outside the window and
+      swaps the damaged ones for the patch - an ordinary periodic
+      tiling that {!Tiling.Single.make} re-validates and
+      {!Core.Certificate.build} / [check] certify end to end.
+
+    The result is collision-free everywhere (certified), uses exactly
+    [|N|] slots on the window - optimal there by the criterion - and
+    differs from the base schedule only on the window's
+    [Lambda_dep]-orbit ({!local_outside} checks the whole quotient,
+    hence by periodicity the whole plane). *)
+
+type stats = {
+  window_cells : int;  (** [|D|] *)
+  window_tiles : int;  (** base tiles removed (0 for a non-leader death) *)
+  rings : int;  (** growth rings beyond the minimal window *)
+  torus_index : int;  (** [\[Z^d : Lambda_dep\]], the deployment size *)
+}
+
+type t = {
+  base : Tiling.Single.t;
+  dead : Zgeom.Vec.t;
+  deployment : Lattice.Sublattice.t;
+  window : Zgeom.Vec.Set.t;  (** the damaged window [D] (plane cells) *)
+  removed : Zgeom.Vec.t list;  (** translations of the removed base tiles *)
+  patch : Zgeom.Vec.t list;  (** translations of the replacement tiles *)
+  patched : Tiling.Single.t;  (** base - removed + patch, period [Lambda_dep] *)
+  base_schedule : Core.Schedule.t;
+  schedule : Core.Schedule.t;  (** Theorem-1 schedule of [patched] *)
+  certificate : Core.Certificate.t;  (** checked before [repair] returns *)
+  changed : Zgeom.Vec.t list;  (** window cells whose slot changed *)
+  stats : stats;
+}
+
+val is_leader : Tiling.Single.t -> Zgeom.Vec.t -> bool
+(** Is this position a tile translation point (cluster head)? *)
+
+val repair :
+  ?max_rings:int ->
+  deployment:Lattice.Sublattice.t ->
+  Tiling.Single.t ->
+  dead:Zgeom.Vec.t ->
+  (t, string) result
+(** Repair the tiling after the sensor at [dead] dies.  [deployment]
+    must be a sublattice of the tiling period (each generator a period
+    element).  [max_rings] (default 8) bounds window growth.
+    Deterministic: the solver enumerates candidate covers in a fixed
+    order and the first acceptable one wins.  Errors are honest
+    infeasibility reports: a window that never wraps within [max_rings]
+    (plane windows are rigid, so an unwrapped window's only cover is
+    the damaged one), or a torus whose every wrapped cover of the
+    window re-elects [dead], yields [Error], not a bogus patch. *)
+
+val slots_on_window : t -> int
+(** Distinct slots the patched schedule uses on the window. *)
+
+val window_optimal : t -> bool
+(** The acceptance predicate: the window meets the paper's criterion
+    (true by construction) and the patched schedule uses exactly [|N|]
+    slots on it - the finite optimum. *)
+
+val local_outside : t -> bool
+(** Locality: every quotient cell outside the window's
+    [Lambda_dep]-orbit keeps its base slot (checked exhaustively on the
+    deployment quotient; periodicity extends the statement to all of
+    [Z^d]). *)

@@ -1,0 +1,205 @@
+open Zgeom
+open Lattice
+
+type policy = Round_robin | Least_depleted_first
+
+let policy_name = function
+  | Round_robin -> "round-robin"
+  | Least_depleted_first -> "least-depleted"
+
+type t = {
+  covers : Tiling.Multi.t array;
+  schedules : Core.Schedule.t array;
+  leader_sets : Vec.Set.t array;
+  period : Sublattice.t;
+  num_slots : int;
+  epoch : int;
+  plan : int array;
+  policy : policy;
+}
+
+let leaders period mt =
+  Tiling.Multi.pieces mt
+  |> List.concat_map (fun pc -> pc.Tiling.Multi.piece_offsets)
+  |> List.map (Sublattice.reduce period)
+  |> List.sort_uniq Vec.compare
+
+let translate_cover period u mt =
+  let pieces =
+    List.map
+      (fun pc ->
+        {
+          pc with
+          Tiling.Multi.piece_offsets =
+            List.map (fun o -> Sublattice.reduce period (Vec.add o u)) pc.Tiling.Multi.piece_offsets;
+        })
+      (Tiling.Multi.pieces mt)
+  in
+  match Tiling.Multi.make ~period pieces with
+  | Ok m -> m
+  | Error e -> invalid_arg ("Rotation.translate_cover: " ^ e)
+
+(* The enumeration behind [distinct_torus_covers] anchors its first tile
+   at the least translation covering the origin, so class representatives
+   tend to share leaders (typically all of them lead at the origin) - a
+   rotation over raw representatives then never relieves those nodes.
+   Translating a cover yields a congruent - equally valid - tiling with
+   shifted leaders, so we pick, greedily per cover, the quotient
+   translation whose leaders are least loaded by the covers already
+   placed (lexicographic (peak, total) load, ties to the least
+   translation, hence deterministic). *)
+let balance covers =
+  match covers with
+  | [] -> []
+  | first :: _ ->
+    let period = Tiling.Multi.period first in
+    let load : (Vec.t, int) Hashtbl.t = Hashtbl.create 64 in
+    let count v = Option.value ~default:0 (Hashtbl.find_opt load v) in
+    List.map
+      (fun c ->
+        let ls = leaders period c in
+        let best_u = ref (Vec.zero (Sublattice.dim period)) in
+        let best_cost = ref (max_int, max_int) in
+        List.iter
+          (fun u ->
+            let cost =
+              List.fold_left
+                (fun (peak, total) v ->
+                  let n = count (Sublattice.reduce period (Vec.add v u)) in
+                  (max peak n, total + n))
+                (0, 0) ls
+            in
+            if cost < !best_cost then begin
+              best_cost := cost;
+              best_u := u
+            end)
+          (Sublattice.cosets period);
+        let c' = translate_cover period !best_u c in
+        List.iter (fun v -> Hashtbl.replace load v (count v + 1)) (leaders period c');
+        c')
+      covers
+
+let make ~covers ~epoch ~epochs ~policy =
+  match covers with
+  | [] -> Error "Rotation.make: no covers"
+  | first :: _ -> (
+    let period = Tiling.Multi.period first in
+    if
+      not
+        (List.for_all (fun c -> Sublattice.equal (Tiling.Multi.period c) period) covers)
+    then Error "Rotation.make: covers must share one period"
+    else
+      let schedules = Array.of_list (List.map Core.Schedule.of_multi covers) in
+      let m = Core.Schedule.num_slots schedules.(0) in
+      if not (Array.for_all (fun s -> Core.Schedule.num_slots s = m) schedules) then
+        Error "Rotation.make: covers must share one slot count"
+      else if epoch <= 0 || epoch mod m <> 0 then
+        Error
+          (Printf.sprintf
+             "Rotation.make: epoch must be a positive multiple of the %d-slot period" m)
+      else if epochs <= 0 then Error "Rotation.make: epochs must be positive"
+      else begin
+        let covers = Array.of_list covers in
+        let leader_sets =
+          Array.map (fun c -> Vec.Set.of_list (leaders period c)) covers
+        in
+        let k = Array.length covers in
+        let plan =
+          match policy with
+          | Round_robin -> Array.init epochs (fun e -> e mod k)
+          | Least_depleted_first ->
+            (* Greedy: each epoch activates the cover whose leaders are
+               least depleted so far, compared lexicographically by
+               (peak served, total served, cover index).  The peak keeps
+               the most-loaded node from being re-elected (lifetime is
+               set by the first battery to die); the total breaks peak
+               ties toward covers sharing fewest leaders with past
+               picks.  Cumulative duty is keyed by quotient node;
+               [Vec.Set.fold] visits leaders in ascending order and
+               [max]/[+] are order-free, so the plan is
+               deterministic. *)
+            let duty : (Vec.t, int) Hashtbl.t = Hashtbl.create 64 in
+            let served v = Option.value ~default:0 (Hashtbl.find_opt duty v) in
+            Array.init epochs (fun _ ->
+                let best = ref 0 in
+                let best_cost = ref (max_int, max_int) in
+                for i = 0 to k - 1 do
+                  let cost =
+                    Vec.Set.fold
+                      (fun v (peak, total) -> (max peak (served v), total + served v))
+                      leader_sets.(i) (0, 0)
+                  in
+                  if cost < !best_cost then begin
+                    best_cost := cost;
+                    best := i
+                  end
+                done;
+                Vec.Set.iter
+                  (fun v -> Hashtbl.replace duty v (served v + 1))
+                  leader_sets.(!best);
+                !best)
+        in
+        Ok { covers; schedules; leader_sets; period; num_slots = m; epoch; plan; policy }
+      end)
+
+let covers t = Array.to_list t.covers
+let num_covers t = Array.length t.covers
+let schedules t = t.schedules
+let period t = t.period
+let num_slots t = t.num_slots
+let epoch t = t.epoch
+let plan t = Array.copy t.plan
+let policy t = t.policy
+
+let index_at t e =
+  let len = Array.length t.plan in
+  t.plan.(((e mod len) + len) mod len)
+
+let active t ~time = index_at t (time / t.epoch)
+
+let may_send t v ~time = Core.Schedule.may_send t.schedules.(active t ~time) v ~time
+
+let leader_at t ~time v =
+  Vec.Set.mem (Sublattice.reduce t.period v) t.leader_sets.(active t ~time)
+
+(* Per-quotient-node leader-duty fraction over one plan cycle, in
+   [Sublattice.cosets] order.  [static_duty] is the degenerate plan that
+   never leaves cover 0: its duty vector is the 0/1 leader indicator,
+   which is what rotation's spread is measured against. *)
+let duty_of_plan t plan =
+  let epochs = Array.length plan in
+  let cosets = Array.of_list (Sublattice.cosets t.period) in
+  Array.map
+    (fun v ->
+      let served =
+        Array.fold_left
+          (fun acc i -> if Vec.Set.mem v t.leader_sets.(i) then acc + 1 else acc)
+          0 plan
+      in
+      float_of_int served /. float_of_int epochs)
+    cosets
+
+let duty t = duty_of_plan t t.plan
+let static_duty t = duty_of_plan t (Array.make (Array.length t.plan) 0)
+
+let spread xs =
+  let n = float_of_int (Array.length xs) in
+  if n = 0.0 then 0.0
+  else begin
+    let mean = Array.fold_left ( +. ) 0.0 xs /. n in
+    let var =
+      Array.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0.0 xs /. n
+    in
+    sqrt var
+  end
+
+let mac t = Netsim.Mac.rotating_tdma ~epoch:t.epoch ~index_at:(index_at t) t.schedules
+
+let extra_cost t ~leader_cost v ~time = if leader_at t ~time v then leader_cost else 0.0
+
+let collision_free t =
+  let ok = ref true in
+  Array.iteri
+    (fun i c -> if not (Core.Collision.is_collision_free_multi c t.schedules.(i)) then ok := false)
+    t.covers;
+  !ok

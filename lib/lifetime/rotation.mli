@@ -1,0 +1,123 @@
+(** Duty-cycle rotation over distinct tilings of one torus (ROADMAP item
+    3; the CCF cover-set idea ported to tilings).
+
+    A torus usually admits many translation-inequivalent tilings
+    ({!Tiling.Search.distinct_torus_covers}); each induces its own
+    Theorem-1/2 schedule {e and} its own set of {e tile leaders} - the
+    sensors sitting at tile translation points, which act as the
+    cluster heads of their tiles (aggregation, forwarding: the costly
+    role).  A static schedule makes the same sensors leaders forever; a
+    rotation swaps the active cover at epoch boundaries, so leadership
+    - and its energy surcharge - moves around the quotient.
+
+    {2 Collision-freedom across the swap}
+
+    Every cover's schedule is collision-free at every slot (Theorems
+    1/2), and the active-schedule map [time -> plan(time / epoch)] is a
+    global function of the slot number - every sensor agrees on it.
+    With [epoch] a multiple of the shared slot count [m], each slot of
+    each epoch is governed by exactly one collision-free schedule, so
+    the rotating composite is collision-free at {e every} slot,
+    including the switch instant ({!collision_free} re-checks each
+    cover's schedule mechanically; the composite argument is the above).
+
+    {2 Why rotation strictly tightens the duty spread}
+
+    The static duty vector is a 0/1 leader indicator with mean
+    [p = 1/m].  Rotation over [k >= 2] translation-{e inequivalent}
+    covers averages [k] distinct indicators: wherever two covers
+    disagree on some node's leadership, the averaged vector moves off
+    {0, 1}, and the population variance drops strictly below
+    [p (1 - p)].  The lifetime demo asserts exactly this
+    ({!spread} of {!duty} < {!spread} of {!static_duty}). *)
+
+type policy =
+  | Round_robin  (** epoch [e] activates cover [e mod k] *)
+  | Least_depleted_first
+      (** each epoch activates the cover whose leaders are least
+          depleted so far: lexicographically least (peak epochs served
+          by any of its leaders, total epochs served, cover index) *)
+
+val policy_name : policy -> string
+
+type t
+
+val make :
+  covers:Tiling.Multi.t list ->
+  epoch:int ->
+  epochs:int ->
+  policy:policy ->
+  (t, string) result
+(** A rotation plan of [epochs] entries over the given covers (e.g. from
+    {!Tiling.Search.distinct_torus_covers}).  Requires a non-empty cover
+    list sharing one period and one slot count [m], [epoch] a positive
+    multiple of [m] (the collision-freedom condition above), and
+    [epochs >= 1].  The plan repeats cyclically after [epochs]. *)
+
+val covers : t -> Tiling.Multi.t list
+val num_covers : t -> int
+val schedules : t -> Core.Schedule.t array
+val period : t -> Lattice.Sublattice.t
+val num_slots : t -> int
+val epoch : t -> int
+
+val plan : t -> int array
+(** Cover index per epoch (a copy). *)
+
+val policy : t -> policy
+
+val index_at : t -> int -> int
+(** Cover index active during epoch [e] (the plan, extended
+    cyclically). *)
+
+val active : t -> time:int -> int
+(** [index_at] of slot [time]'s epoch. *)
+
+val may_send : t -> Zgeom.Vec.t -> time:int -> bool
+(** The rotating composite schedule. *)
+
+val leaders : Lattice.Sublattice.t -> Tiling.Multi.t -> Zgeom.Vec.t list
+(** The cover's tile translation points, reduced to canonical quotient
+    representatives, sorted. *)
+
+val translate_cover : Lattice.Sublattice.t -> Zgeom.Vec.t -> Tiling.Multi.t -> Tiling.Multi.t
+(** The congruent cover translated by the vector (offsets shifted and
+    reduced); the period is unchanged. *)
+
+val balance : Tiling.Multi.t list -> Tiling.Multi.t list
+(** Deterministically translate each cover so leader sets overlap as
+    little as possible.  The class representatives from
+    {!Tiling.Search.distinct_torus_covers} all anchor a tile at the
+    least translation covering the origin (the enumeration's first
+    branch), so the origin leads in {e every} raw representative and
+    rotation never relieves it; balancing replaces each cover by a
+    congruent translate, chosen greedily to minimize the lexicographic
+    (peak, total) load its leaders add on top of the covers already
+    placed.  Feed the result to {!make} when rotation is meant to
+    extend lifetime, not just to reorder it. *)
+
+val leader_at : t -> time:int -> Zgeom.Vec.t -> bool
+(** Is this position a tile leader under the cover active at [time]? *)
+
+val duty : t -> float array
+(** Per-quotient-node leader-duty fraction over one plan cycle, indexed
+    in {!Lattice.Sublattice.cosets} order. *)
+
+val static_duty : t -> float array
+(** The same under the degenerate never-rotate plan (cover 0 only): the
+    0/1 leader indicator rotation is measured against. *)
+
+val spread : float array -> float
+(** Population standard deviation - the duty-spread metric of the
+    acceptance criterion. *)
+
+val mac : t -> Netsim.Mac.factory
+(** {!Netsim.Mac.rotating_tdma} driven by this plan. *)
+
+val extra_cost : t -> leader_cost:float -> Zgeom.Vec.t -> time:int -> float
+(** Per-slot energy surcharge for the acting leaders, shaped for
+    [Netsim.Faults.spec.extra_cost]: battery simulations then deplete
+    whoever currently leads. *)
+
+val collision_free : t -> bool
+(** Re-check every cover's schedule with the exact periodic checker. *)

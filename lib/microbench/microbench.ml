@@ -104,6 +104,78 @@ let run_skew ?(quota = 0.5) () =
       Parallel.shutdown pool4)
     (fun () -> run_tests ~quota tests)
 
+let required_lifetime = [ "lifetime-static"; "lifetime-rotate"; "repair-solve" ]
+
+(* The EXP-L1 instance: I-tetromino rows on an 8x8 grid, leaders paying a
+   +1.0/slot surcharge against a 30-unit battery.  Deterministic, so the
+   lifetime-* rows are exact slot counts, not estimates. *)
+let lifetime_instance ~classes ~epochs ~policy =
+  let period = Sublattice.of_basis [| [| 4; 0 |]; [| 0; 4 |] |] in
+  let covers =
+    Tiling.Search.distinct_torus_covers ~period ~prototiles:[ Prototile.tetromino `I ]
+      ~max_classes:classes ()
+  in
+  match
+    Lifetime.Rotation.make ~covers:(Lifetime.Rotation.balance covers) ~epoch:4 ~epochs ~policy
+  with
+  | Ok rot -> rot
+  | Error e -> invalid_arg ("Microbench.lifetime_instance: " ^ e)
+
+let lifetime_first_death rot =
+  let duration = 1200 in
+  let cfg =
+    { (Netsim.Sim.default_config ~mac:(Lifetime.Rotation.mac rot)) with
+      width = 8;
+      height = 8;
+      prototile = Prototile.tetromino `I;
+      duration;
+      workload = Netsim.Workload.Periodic { interval = 40 };
+      faults =
+        {
+          Netsim.Faults.none with
+          Netsim.Faults.battery = Some 30.0;
+          extra_cost = Some (Lifetime.Rotation.extra_cost rot ~leader_cost:1.0);
+        };
+    }
+  in
+  match Netsim.Sim.first_death (Netsim.Sim.run cfg) with
+  | Some t -> float_of_int t
+  | None -> float_of_int duration
+
+let run_lifetime ?(quota = 0.5) () =
+  if quota <= 0.0 then invalid_arg "Microbench.run_lifetime: quota must be positive";
+  let open Bechamel in
+  let static = lifetime_instance ~classes:1 ~epochs:1 ~policy:Lifetime.Rotation.Round_robin in
+  let rotate =
+    lifetime_instance ~classes:4 ~epochs:12 ~policy:Lifetime.Rotation.Least_depleted_first
+  in
+  let slot_rows =
+    [
+      { name = "lifetime-static-first-death-slots"; ns_per_call = lifetime_first_death static };
+      { name = "lifetime-rotate-4-first-death-slots"; ns_per_call = lifetime_first_death rotate };
+    ]
+  in
+  let deployment = Sublattice.of_basis [| [| 8; 0 |]; [| 0; 8 |] |] in
+  let repair tile =
+    let base = Option.get (Tiling.Search.find_tiling tile) in
+    let dead = List.hd (Tiling.Single.offsets base) in
+    fun () ->
+      match Lifetime.Repair.repair ~deployment base ~dead with
+      | Ok r -> r
+      | Error e -> invalid_arg ("Microbench.run_lifetime: repair failed: " ^ e)
+  in
+  let tests =
+    Test.make_grouped ~name:"lifetime"
+      [
+        (* Minimal window (one wrapped row, 8 cells) vs one-ring growth
+           (56 cells): the repair-latency-vs-window-size comparison of
+           EXP-L1. *)
+        Test.make ~name:"repair-solve-itet-row8" (Staged.stage (repair (Prototile.tetromino `I)));
+        Test.make ~name:"repair-solve-stet-ring1" (Staged.stage (repair (Prototile.tetromino `S)));
+      ]
+  in
+  List.sort Stdlib.compare (run_tests ~quota tests @ slot_rows)
+
 let run ?(quota = 0.5) () =
   if quota <= 0.0 then invalid_arg "Microbench.run: quota must be positive";
   let open Bechamel in

@@ -67,6 +67,25 @@ val required_skew : string list
 (** The row names {!validate_json} demands of the [BENCH_6.json]
     artifact: the three {!run_skew} configurations. *)
 
+val run_lifetime : ?quota:float -> unit -> row list
+(** The lifetime suite (EXP-L1), serialized to [BENCH_7.json].  Two row
+    families share the two-key schema with different units:
+    [lifetime-*-first-death-slots] rows carry the {e slot} of the first
+    battery death in a deterministic simulation (I-tetromino rows on an
+    8x8 grid, tile leaders paying +1.0/slot against a 30-unit battery)
+    under the static schedule vs a balanced 4-cover least-depleted
+    rotation - the lifetime-extension factor is their ratio; the
+    [repair-solve-*] rows are genuine Bechamel ns-per-call estimates of
+    {!Lifetime.Repair.repair} on the minimal wrapped-row window (I-tet,
+    8 cells) and on a one-ring-grown window (S-tet, 56 cells) - the
+    repair-latency-vs-window-size comparison.  [quota] as in {!run}
+    (the simulated rows ignore it: they are exact). *)
+
+val required_lifetime : string list
+(** The name substrings {!validate_json} demands of the [BENCH_7.json]
+    artifact: the static and rotating lifetime rows and the repair
+    solver timings. *)
+
 val to_json : row list -> string
 (** Serialize rows as a JSON array of two-key objects, one per line.
     Output round-trips through {!validate_json} provided the rows

@@ -6,3 +6,35 @@ let slot_energy m ~transmitters ~receivers ~idlers =
   (float_of_int transmitters *. m.tx_cost)
   +. (float_of_int receivers *. m.rx_cost)
   +. (float_of_int idlers *. m.idle_cost)
+
+type account = {
+  tx_slots : int;
+  rx_slots : int;
+  idle_slots : int;
+  extra : float;
+  consumed : float;
+}
+
+let zero_account = { tx_slots = 0; rx_slots = 0; idle_slots = 0; extra = 0.0; consumed = 0.0 }
+
+let role_cost m = function `Tx -> m.tx_cost | `Rx -> m.rx_cost | `Idle -> m.idle_cost
+
+let charge m acc role ~extra =
+  let cost = role_cost m role +. extra in
+  {
+    tx_slots = (acc.tx_slots + match role with `Tx -> 1 | _ -> 0);
+    rx_slots = (acc.rx_slots + match role with `Rx -> 1 | _ -> 0);
+    idle_slots = (acc.idle_slots + match role with `Idle -> 1 | _ -> 0);
+    extra = acc.extra +. extra;
+    consumed = acc.consumed +. cost;
+  }
+
+let account_energy m acc =
+  (float_of_int acc.tx_slots *. m.tx_cost)
+  +. (float_of_int acc.rx_slots *. m.rx_cost)
+  +. (float_of_int acc.idle_slots *. m.idle_cost)
+  +. acc.extra
+
+let account_consistent ?(eps = 1e-9) m acc =
+  let expect = account_energy m acc in
+  Float.abs (acc.consumed -. expect) <= eps *. (1.0 +. Float.abs expect)

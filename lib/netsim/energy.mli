@@ -13,3 +13,35 @@ val default : model
 (** tx = 1.0, rx = 0.4, idle = 0.01 - typical low-power-radio ratios. *)
 
 val slot_energy : model -> transmitters:int -> receivers:int -> idlers:int -> float
+
+(** {1 Per-node accounts}
+
+    The lifetime subsystem needs energy {e per node}, not just per run:
+    battery depletion kills the node whose own account crosses the
+    capacity.  An account counts the slots spent in each radio role plus
+    any surcharge ([extra], e.g. cluster-head duty from
+    [Lifetime.Rotation]) and accumulates the running [consumed] total;
+    the two views are redundant by construction, which is exactly the
+    conservation invariant [account_consistent] re-checks. *)
+
+type account = {
+  tx_slots : int;
+  rx_slots : int;
+  idle_slots : int;
+  extra : float;  (** sum of per-slot surcharges *)
+  consumed : float;  (** running total: role costs + surcharges *)
+}
+
+val zero_account : account
+
+val charge : model -> account -> [ `Tx | `Rx | `Idle ] -> extra:float -> account
+(** One slot in the given role plus an [extra] surcharge; functional
+    update. *)
+
+val account_energy : model -> account -> float
+(** [tx_slots * tx_cost + rx_slots * rx_cost + idle_slots * idle_cost +
+    extra], recomputed from the slot counters. *)
+
+val account_consistent : ?eps:float -> model -> account -> bool
+(** The conservation invariant: [consumed] equals {!account_energy} up
+    to relative float tolerance [eps] (default 1e-9). *)

@@ -1,0 +1,76 @@
+type kind = Death | Down | Up
+
+type event = { time : int; node : int; kind : kind }
+
+type spec = {
+  battery : float option;
+  deaths : (int * int) list;
+  random_deaths : int;
+  churn : int;
+  downtime : int;
+  extra_cost : (Zgeom.Vec.t -> time:int -> float) option;
+}
+
+let none =
+  {
+    battery = None;
+    deaths = [];
+    random_deaths = 0;
+    churn = 0;
+    downtime = 0;
+    extra_cost = None;
+  }
+
+let kind_rank = function Up -> 0 | Down -> 1 | Death -> 2
+
+let compare_event a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c
+  else
+    let c = compare a.node b.node in
+    if c <> 0 then c else compare (kind_rank a.kind) (kind_rank b.kind)
+
+let schedule spec ~rng ~num_nodes ~duration =
+  if spec.random_deaths < 0 || spec.churn < 0 || spec.downtime < 0 then
+    invalid_arg "Faults.schedule: negative count";
+  List.iter
+    (fun (time, node) ->
+      if node < 0 || node >= num_nodes then invalid_arg "Faults.schedule: node out of range";
+      if time < 0 then invalid_arg "Faults.schedule: negative time")
+    spec.deaths;
+  let explicit =
+    List.filter_map
+      (fun (time, node) -> if time < duration then Some { time; node; kind = Death } else None)
+      spec.deaths
+  in
+  (* Random times avoid slot 0 (a node dead before its first arrival
+     exercises nothing) and are drawn in a fixed order - deaths first,
+     then churn cycles - so the schedule depends only on the rng seed. *)
+  let random_time () = if duration <= 1 then 0 else 1 + Prng.Xoshiro.int rng (duration - 1) in
+  if spec.random_deaths > num_nodes then
+    invalid_arg "Faults.schedule: more random deaths than nodes";
+  let injected = ref [] in
+  if num_nodes > 0 then begin
+    (* Distinct victims: [random_deaths = k] means k nodes die.  Redraws
+       on collision keep the draw order a pure function of the rng
+       state. *)
+    let doomed = Hashtbl.create 8 in
+    for _ = 1 to spec.random_deaths do
+      let time = random_time () in
+      let rec fresh () =
+        let node = Prng.Xoshiro.int rng num_nodes in
+        if Hashtbl.mem doomed node then fresh () else node
+      in
+      let node = fresh () in
+      Hashtbl.replace doomed node ();
+      injected := { time; node; kind = Death } :: !injected
+    done;
+    for _ = 1 to spec.churn do
+      let time = random_time () in
+      let node = Prng.Xoshiro.int rng num_nodes in
+      injected := { time; node; kind = Down } :: !injected;
+      let back = time + max 1 spec.downtime in
+      if back < duration then injected := { time = back; node; kind = Up } :: !injected
+    done
+  end;
+  List.stable_sort compare_event (explicit @ List.rev !injected)

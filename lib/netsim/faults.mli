@@ -1,0 +1,50 @@
+(** Fault injection: sensor death, churn, and battery depletion.
+
+    Sensor networks lose nodes - batteries drain, hardware dies, nodes
+    reboot.  A fault [spec] extends a simulation with three such
+    processes, all deterministic functions of the run seed:
+
+    - {e explicit deaths}: [(time, node)] kills scripted by the caller
+      (the lifetime demo kills a chosen tile leader);
+    - {e injected faults}: [random_deaths] permanent kills and [churn]
+      temporary down/up cycles at seed-derived times and nodes;
+    - {e battery depletion}: when [battery] is set, a node dies the slot
+      its {!Energy.account}[.consumed] reaches the capacity - so the
+      energy model, including any [extra_cost] surcharge (cluster-head
+      duty from [Lifetime.Rotation]), decides who dies first.
+
+    Dead nodes stop sensing, transmitting, receiving, and paying energy;
+    their queued packets are dropped (conservation holds: the drops are
+    counted).  Down nodes keep sensing and queueing but their radio is
+    off until the matching up event. *)
+
+type kind = Death | Down | Up
+
+type event = { time : int; node : int; kind : kind }
+
+type spec = {
+  battery : float option;  (** per-node capacity; [None] = inexhaustible *)
+  deaths : (int * int) list;  (** explicit [(time, node)] kills *)
+  random_deaths : int;  (** seed-derived permanent kills of distinct nodes *)
+  churn : int;  (** seed-derived down/up cycles *)
+  downtime : int;  (** slots a churned node stays down (min 1) *)
+  extra_cost : (Zgeom.Vec.t -> time:int -> float) option;
+      (** per-slot energy surcharge by position and time, paid by alive
+          nodes on top of the radio role cost *)
+}
+
+val none : spec
+
+val compare_event : event -> event -> int
+(** Time, then node, then kind ([Up < Down < Death]) - the order the
+    engine applies same-slot events. *)
+
+val schedule : spec -> rng:Prng.Xoshiro.t -> num_nodes:int -> duration:int -> event list
+(** The explicit and injected events of the spec (battery deaths are
+    emergent, not scheduled), sorted by {!compare_event}.  Random draws
+    happen in a fixed order, so the schedule depends only on the rng
+    state handed in - the engine splits a dedicated stream off the run
+    seed.  Random deaths hit [random_deaths] {e distinct} nodes
+    (collision redraws).  Events at or past [duration] are dropped;
+    out-of-range nodes, negative counts, and more random deaths than
+    nodes are [Invalid_argument]. *)

@@ -18,6 +18,19 @@ let lattice_tdma_drifted schedule ~drift_at ~node_id:_ ~pos ~rng:_ =
     feedback = ignore;
   }
 
+let rotating_tdma ~epoch ~index_at schedules ~node_id:_ ~pos ~rng:_ =
+  assert (epoch > 0);
+  let k = Array.length schedules in
+  assert (k > 0);
+  {
+    name = "rotating-tdma";
+    decide =
+      (fun ctx ->
+        let idx = ((index_at (ctx.time / epoch) mod k) + k) mod k in
+        ctx.has_packet && Core.Schedule.may_send schedules.(idx) pos ~time:ctx.time);
+    feedback = ignore;
+  }
+
 let full_tdma ~num_nodes ~node_id ~pos:_ ~rng:_ =
   {
     name = "full-tdma";

@@ -10,6 +10,11 @@
       Never needs feedback; zero collisions by Theorem 1/2.
     - {!lattice_tdma_drifted}: same with a per-node clock offset, the
       fault-injection variant.
+    - {!rotating_tdma}: a family of schedules swapped at epoch
+      boundaries - the lifetime subsystem's rotation and repair both
+      reduce to this (every epoch is governed by exactly one
+      collision-free schedule, so the swap instant is safe when the
+      epoch is a multiple of every period's slot count).
     - {!full_tdma}: classic one-slot-per-sensor round robin - correct but
       with period = network size (the intro's scaling complaint).
     - {!slotted_aloha}: transmit with probability [p] when backlogged;
@@ -31,6 +36,17 @@ type factory = node_id:int -> pos:Zgeom.Vec.t -> rng:Prng.Xoshiro.t -> instance
 
 val lattice_tdma : Core.Schedule.t -> factory
 val lattice_tdma_drifted : Core.Schedule.t -> drift_at:(Zgeom.Vec.t -> int) -> factory
+
+val rotating_tdma : epoch:int -> index_at:(int -> int) -> Core.Schedule.t array -> factory
+(** Slot [t] obeys [schedules.(index_at (t / epoch))] ([index_at]'s
+    result is reduced mod the array length).  With [epoch] a common
+    multiple of every schedule's slot count, each slot is governed by
+    exactly one collision-free schedule, so the composite is collision-
+    free at every slot including epoch boundaries
+    ([Lifetime.Rotation.make] enforces the multiple; repair swaps
+    [base -> patched] the same way). Requires [epoch > 0] and a
+    non-empty array. *)
+
 val full_tdma : num_nodes:int -> factory
 val slotted_aloha : p:float -> max_backoff_exp:int -> factory
 val p_csma : p:float -> factory

@@ -15,6 +15,7 @@ type config = {
   capture : bool;
   loss_prob : float;
   trace : Trace.t option;
+  faults : Faults.spec;
 }
 
 let default_config ~mac =
@@ -32,6 +33,7 @@ let default_config ~mac =
     capture = false;
     loss_prob = 0.0;
     trace = None;
+    faults = Faults.none;
   }
 
 type result = {
@@ -41,6 +43,9 @@ type result = {
   drops : int;
   backlog : int;
   fairness : float;
+  node_accounts : Energy.account array;
+  deaths : (int * int) list;
+  alive_at_end : int;
 }
 
 type event = Arrival of int (* node *)
@@ -77,6 +82,18 @@ let run cfg =
   in
   let gens = Array.init n (fun _ -> Workload.create cfg.workload (Prng.Xoshiro.split root_rng)) in
   let channel_rng = Prng.Xoshiro.split root_rng in
+  (* The faults stream splits off last, so fault-free runs draw exactly
+     the same per-node randomness as before the stream existed. *)
+  let faults_rng = Prng.Xoshiro.split root_rng in
+  let fault_events =
+    ref (Faults.schedule cfg.faults ~rng:faults_rng ~num_nodes:n ~duration:cfg.duration)
+  in
+  let extra_cost =
+    match cfg.faults.Faults.extra_cost with Some f -> f | None -> fun _ ~time:_ -> 0.0
+  in
+  let status = Array.make n `Alive in
+  let accounts = Array.make n Energy.zero_account in
+  let deaths = ref [] in
   let queues = Array.init n (fun _ -> Queue.create ()) in
   let stats = Stats.create () in
   let drops = ref 0 in
@@ -86,37 +103,67 @@ let run cfg =
   let busy_last = Array.make n false in
   let hitters = Array.make n [] in
   let trace e = match cfg.trace with Some t -> Trace.record t e | None -> () in
+  let kill i ~time =
+    if status.(i) <> `Dead then begin
+      status.(i) <- `Dead;
+      (* The node's buffered packets die with it; counting them as drops
+         keeps arrivals = delivered + drops + backlog. *)
+      drops := !drops + Queue.length queues.(i);
+      Queue.clear queues.(i);
+      deaths := (time, i) :: !deaths;
+      trace (Trace.Died { node = i; time })
+    end
+  in
   for t = 0 to cfg.duration - 1 do
-    (* 1. Deliver due arrival events. *)
+    (* 0. Scheduled faults (battery deaths are step 7, emergent). *)
+    let rec apply_faults () =
+      match !fault_events with
+      | e :: rest when e.Faults.time <= t ->
+        fault_events := rest;
+        (match e.Faults.kind with
+        | Faults.Death -> kill e.Faults.node ~time:t
+        | Faults.Down -> if status.(e.Faults.node) = `Alive then status.(e.Faults.node) <- `Down
+        | Faults.Up -> if status.(e.Faults.node) = `Down then status.(e.Faults.node) <- `Alive);
+        apply_faults ()
+      | _ -> ()
+    in
+    apply_faults ();
+    (* 1. Deliver due arrival events.  Dead nodes stop sensing: their
+       pending arrival is discarded and not rescheduled.  Down nodes
+       keep sensing and queueing (only the radio is off). *)
     let rec drain () =
       match Heap.peek_key events with
       | Some k when k <= t ->
         (match Heap.pop events with
         | Some (_, Arrival i) ->
-          Stats.record_arrival stats;
-          trace (Trace.Arrived { node = i; time = t });
-          if Queue.length queues.(i) < cfg.queue_capacity then Queue.add t queues.(i)
-          else begin
-            incr drops;
-            trace (Trace.Dropped { node = i; time = t })
-          end;
-          Heap.push events (Workload.next_arrival gens.(i) ~after:t) (Arrival i)
+          if status.(i) <> `Dead then begin
+            Stats.record_arrival stats;
+            trace (Trace.Arrived { node = i; time = t });
+            if Queue.length queues.(i) < cfg.queue_capacity then Queue.add t queues.(i)
+            else begin
+              incr drops;
+              trace (Trace.Dropped { node = i; time = t })
+            end;
+            Heap.push events (Workload.next_arrival gens.(i) ~after:t) (Arrival i)
+          end
         | None -> ());
         drain ()
       | _ -> ()
     in
     drain ();
-    (* 2. MAC decisions. *)
+    (* 2. MAC decisions (alive nodes only: down and dead radios are off). *)
     let transmitting = Array.make n false in
     let transmitters = ref [] in
     for i = 0 to n - 1 do
-      let ctx =
-        { Mac.time = t; has_packet = not (Queue.is_empty queues.(i));
-          channel_busy_last = busy_last.(i) }
-      in
-      if ctx.Mac.has_packet && macs.(i).Mac.decide ctx then begin
-        transmitting.(i) <- true;
-        transmitters := i :: !transmitters
+      if status.(i) = `Alive then begin
+        let ctx =
+          { Mac.time = t; has_packet = not (Queue.is_empty queues.(i));
+            channel_busy_last = busy_last.(i) }
+        in
+        if ctx.Mac.has_packet && macs.(i).Mac.decide ctx then begin
+          transmitting.(i) <- true;
+          transmitters := i :: !transmitters
+        end
       end
     done;
     (* 3. Propagation: which transmissions reach each node. *)
@@ -136,7 +183,9 @@ let run cfg =
         List.for_all (fun x -> x = s || d x > ds) many
       | _ -> false
     in
-    (* 5. Outcomes. *)
+    (* 5. Outcomes.  Intended receivers are the alive ones: a broadcast
+       with every intended receiver gone counts as (vacuously)
+       delivered. *)
     List.iter
       (fun s ->
         Stats.record_attempt stats;
@@ -144,9 +193,10 @@ let run cfg =
         let faded = ref 0 in
         List.iter
           (fun r ->
-            if not (survives_interference r s) then incr interfered
-            else if cfg.loss_prob > 0.0 && Prng.Xoshiro.bernoulli channel_rng cfg.loss_prob
-            then incr faded)
+            if status.(r) = `Alive then
+              if not (survives_interference r s) then incr interfered
+              else if cfg.loss_prob > 0.0 && Prng.Xoshiro.bernoulli channel_rng cfg.loss_prob
+              then incr faded)
           reach.(s);
         if !interfered = 0 && !faded = 0 then begin
           let created = Queue.pop queues.(s) in
@@ -164,33 +214,69 @@ let run cfg =
           macs.(s).Mac.feedback `Collided
         end)
       !transmitters;
-    (* 6. Carrier state and energy. *)
-    let receivers = ref 0 in
+    (* 6. Carrier state and per-node energy (alive nodes only; every
+       transmitter is alive, so hitters of an alive node are real). *)
+    let slot_total = ref 0.0 in
     for i = 0 to n - 1 do
-      busy_last.(i) <- hitters.(i) <> [] || transmitting.(i);
-      if hitters.(i) <> [] && not transmitting.(i) then incr receivers
+      if status.(i) = `Alive then begin
+        busy_last.(i) <- hitters.(i) <> [] || transmitting.(i);
+        let role =
+          if transmitting.(i) then `Tx else if hitters.(i) <> [] then `Rx else `Idle
+        in
+        let extra = extra_cost pos.(i) ~time:t in
+        let before = accounts.(i).Energy.consumed in
+        accounts.(i) <- Energy.charge cfg.energy_model accounts.(i) role ~extra;
+        slot_total := !slot_total +. (accounts.(i).Energy.consumed -. before)
+      end
+      else busy_last.(i) <- false
     done;
-    let tx = List.length !transmitters in
-    Stats.add_energy stats
-      (Energy.slot_energy cfg.energy_model ~transmitters:tx ~receivers:!receivers
-         ~idlers:(n - tx - !receivers))
+    Stats.add_energy stats !slot_total;
+    (* 7. Battery depletion: a node whose account crosses the capacity
+       dies at the end of the slot. *)
+    (match cfg.faults.Faults.battery with
+    | None -> ()
+    | Some capacity ->
+      for i = 0 to n - 1 do
+        if status.(i) <> `Dead && accounts.(i).Energy.consumed >= capacity then kill i ~time:t
+      done)
   done;
   let backlog = Array.fold_left (fun acc q -> acc + Queue.length q) 0 queues in
   let mac_name = if n > 0 then macs.(0).Mac.name else "none" in
+  let alive_at_end =
+    Array.fold_left (fun acc st -> if st <> `Dead then acc + 1 else acc) 0 status
+  in
   { mac_name; num_nodes = n; stats = Stats.snapshot stats; drops = !drops; backlog;
-    fairness = jain_index delivered_per_node }
+    fairness = jain_index delivered_per_node; node_accounts = accounts;
+    deaths = List.rev !deaths; alive_at_end }
 
 let pp_result fmt r =
-  Format.fprintf fmt "@[<v>%s (%d nodes): %a drops=%d backlog=%d fairness=%.3f@]" r.mac_name
-    r.num_nodes Stats.pp_snapshot r.stats r.drops r.backlog r.fairness
+  Format.fprintf fmt "@[<v>%s (%d nodes): %a drops=%d backlog=%d fairness=%.3f%t@]" r.mac_name
+    r.num_nodes Stats.pp_snapshot r.stats r.drops r.backlog r.fairness (fun fmt ->
+      if r.deaths <> [] then
+        Format.fprintf fmt " deaths=%d alive=%d" (List.length r.deaths) r.alive_at_end)
 
 let conservation_ok r =
   r.stats.Stats.arrivals = r.stats.Stats.delivered + r.drops + r.backlog
 
-let run_sweep ?pool ?sched cfg ~seeds =
+let energy_conservation_ok ?(eps = 1e-9) model r =
+  let per_node_ok =
+    Array.for_all (fun acc -> Energy.account_consistent ~eps model acc) r.node_accounts
+  in
+  let total =
+    Array.fold_left (fun s acc -> s +. acc.Energy.consumed) 0.0 r.node_accounts
+  in
+  per_node_ok
+  && Float.abs (total -. r.stats.Stats.energy) <= eps *. (1.0 +. Float.abs total)
+
+let first_death r = match r.deaths with [] -> None | (t, _) :: _ -> Some t
+
+let run_sweep ?pool ?sched ?trace_of cfg ~seeds =
   let pool = match pool with Some pl -> pl | None -> Parallel.default () in
   (* Runs are independent (all state is created inside [run], randomness
      comes from per-node streams split off the run seed), so seeds can go
-     to separate domains; the shared trace sink is the one piece of
-     cross-run mutable state, so sweeps disable it. *)
-  Parallel.map ?sched pool (fun seed -> run { cfg with seed; trace = None }) seeds
+     to separate domains.  A trace sink is the one piece of cross-run
+     mutable state, so the shared [cfg.trace] is ignored; [trace_of]
+     supplies a per-seed sink instead, giving each run a single-writer
+     log - sweeps with traces stay deterministic. *)
+  let trace_of = match trace_of with Some f -> f | None -> fun _ -> None in
+  Parallel.map ?sched pool (fun seed -> run { cfg with seed; trace = trace_of seed }) seeds

@@ -19,10 +19,21 @@
       erased with this probability - fading/noise.  This breaks even
       TDMA's 100% delivery, but never causes {e collisions}.
 
+    Fault injection ({!Faults}): scripted or seed-derived sensor deaths,
+    churn (down/up cycles) and battery depletion.  A dead node stops
+    sensing, transmitting, receiving and paying energy; its queued
+    packets count as drops, so {!conservation_ok} still holds.  A down
+    node keeps sensing and queueing but its radio is off.  Intended
+    receivers are the alive ones - a broadcast whose whole neighborhood
+    died counts as (vacuously) delivered.
+
     Per-slot accounting: transmitters pay [tx_cost], every node hearing at
     least one transmission pays [rx_cost], everyone else pays
-    [idle_cost].  All randomness is drawn from per-node streams split off
-    the run seed, so runs are reproducible. *)
+    [idle_cost]; [Faults.extra_cost] adds a per-slot surcharge (e.g.
+    cluster-head duty).  Alongside the aggregate, every node keeps its
+    own {!Energy.account} - the basis of battery depletion and of the
+    {!energy_conservation_ok} invariant.  All randomness is drawn from
+    per-node streams split off the run seed, so runs are reproducible. *)
 
 type config = {
   width : int;
@@ -42,35 +53,62 @@ type config = {
   capture : bool;  (** capture effect (default false: pure binary model) *)
   loss_prob : float;  (** independent reception-erasure probability *)
   trace : Trace.t option;  (** when set, the engine records per-event history *)
+  faults : Faults.spec;  (** fault injection (default {!Faults.none}) *)
 }
 
 val default_config : mac:Mac.factory -> config
 (** 10x10 grid, Chebyshev ball radius 1 (homogeneous), periodic traffic
     (1 packet per 50 slots), 2000 slots, seed 42, default energy, queue
-    32, no capture, no loss. *)
+    32, no capture, no loss, no faults. *)
 
 type result = {
   mac_name : string;
   num_nodes : int;
   stats : Stats.snapshot;
-  drops : int;  (** arrivals lost to full queues *)
+  drops : int;  (** arrivals lost to full queues or to the owner's death *)
   backlog : int;  (** packets still queued at the end *)
   fairness : float;  (** Jain index of per-node delivered counts (1 = perfectly fair) *)
+  node_accounts : Energy.account array;  (** per-node energy, indexed by node id *)
+  deaths : (int * int) list;  (** [(time, node)] in order of occurrence *)
+  alive_at_end : int;  (** nodes not dead when the run ended (down counts as alive) *)
 }
 
 val run : config -> result
 
 val run_sweep :
-  ?pool:Parallel.pool -> ?sched:Parallel.sched -> config -> seeds:int64 list -> result list
+  ?pool:Parallel.pool ->
+  ?sched:Parallel.sched ->
+  ?trace_of:(int64 -> Trace.t option) ->
+  config ->
+  seeds:int64 list ->
+  result list
 (** Independent {!run}s of the same configuration at each seed, in seed
     order.  With a pool of more than one domain (default
     {!Parallel.default}), the runs execute on separate domains; each run
     is fully self-contained (per-node PRNG streams split off its seed),
-    so the result list is identical to sequentially mapping {!run} -
-    except that [trace] is forced to [None] (a shared trace sink across
-    concurrent runs would interleave nondeterministically). *)
+    so the result list is identical to sequentially mapping {!run}.
+
+    Tracing: the shared [cfg.trace] sink is {e ignored} (one sink
+    written by concurrent runs would interleave nondeterministically).
+    Instead, [trace_of seed] supplies each run its own sink - a
+    single-writer log per seed, filled identically at every pool size
+    and scheduler.  Callers must return a distinct [Trace.t] per seed
+    (sharing one across seeds reintroduces the race); the default keeps
+    tracing off. *)
 
 val pp_result : Format.formatter -> result -> unit
 
 val conservation_ok : result -> bool
-(** Invariant: arrivals = delivered + drops + backlog. *)
+(** Invariant: arrivals = delivered + drops + backlog.  Holds with
+    faults on: a dead node's buffered packets count as drops and its
+    pending arrival is discarded before being counted. *)
+
+val energy_conservation_ok : ?eps:float -> Energy.model -> result -> bool
+(** Invariant: every node's [consumed] equals
+    [tx_slots * tx_cost + rx_slots * rx_cost + idle_slots * idle_cost +
+    extra] ({!Energy.account_consistent}), and the accounts sum to
+    [stats.energy], both up to relative tolerance [eps] (default 1e-9).
+    Pass the model the run used ([config.energy_model]). *)
+
+val first_death : result -> int option
+(** Slot of the earliest death, if any node died. *)

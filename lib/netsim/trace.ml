@@ -4,6 +4,7 @@ type event =
   | Arrived of { node : int; time : int }
   | Sent of { node : int; time : int; outcome : outcome }
   | Dropped of { node : int; time : int }
+  | Died of { node : int; time : int }
 
 type t = {
   capacity : int;
@@ -46,6 +47,7 @@ let to_log t =
             | `Collided -> "collided"
             | `Faded -> "faded")
         | Dropped { node; time } -> Printf.sprintf "t=%d node=%d queue drop" time node
+        | Died { node; time } -> Printf.sprintf "t=%d node=%d died" time node
       in
       Buffer.add_string buf line;
       Buffer.add_char buf '\n')
@@ -63,10 +65,11 @@ let timeline t ~node ~horizon =
       match e with
       | Arrived a when a.node = node -> set a.time 'a' ~weak:true
       | Dropped d when d.node = node -> set d.time 'x' ~weak:false
+      | Died d when d.node = node -> set d.time '!' ~weak:false
       | Sent s when s.node = node ->
         set s.time
           (match s.outcome with `Delivered -> 'D' | `Collided -> 'C' | `Faded -> 'F')
           ~weak:false
-      | Arrived _ | Dropped _ | Sent _ -> ())
+      | Arrived _ | Dropped _ | Sent _ | Died _ -> ())
     (events t);
   Bytes.to_string chars

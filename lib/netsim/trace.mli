@@ -16,6 +16,8 @@ type event =
   | Arrived of { node : int; time : int }
   | Sent of { node : int; time : int; outcome : outcome }
   | Dropped of { node : int; time : int }
+  | Died of { node : int; time : int }
+      (** The node's battery ran out or a fault killed it ({!Faults}). *)
 
 type t
 
@@ -36,5 +38,5 @@ val to_log : t -> string
 
 val timeline : t -> node:int -> horizon:int -> string
 (** One character per slot for one node: '.' idle, 'a' arrival, 'D'
-    delivered send, 'C' collided send, 'F' faded send, 'x' queue drop.
-    When several events hit one slot the send outcome wins. *)
+    delivered send, 'C' collided send, 'F' faded send, 'x' queue drop,
+    '!' death. When several events hit one slot the send outcome wins. *)

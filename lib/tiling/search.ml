@@ -804,6 +804,163 @@ let find_respectable ?(torus_factors = default_factors) prototiles ?(max_solutio
       torus_factors;
     List.rev !acc
 
+(* --- Translation-congruence classes of torus covers --------------------- *)
+
+(* Two covers of the same torus are congruent when some translation [u]
+   maps one onto the other (piece-wise, offsets mod the period).  The
+   canonical key of a cover is the lexicographically least of its |Z^d /
+   Lambda| translated serializations, so congruent covers collide on the
+   key and the first representative in enumeration order survives. *)
+let cover_key ~period ~shift mt =
+  Multi.pieces mt
+  |> List.map (fun pc ->
+         ( List.map Vec.to_list (Prototile.cells pc.Multi.tile),
+           pc.Multi.piece_offsets
+           |> List.map (fun o -> Vec.to_list (Sublattice.reduce period (Vec.add o shift)))
+           |> List.sort compare ))
+  |> List.sort compare
+
+let canonical_cover_key ~period mt =
+  match Sublattice.cosets period with
+  | [] -> assert false
+  | u0 :: us ->
+    List.fold_left
+      (fun best u ->
+        let k = cover_key ~period ~shift:u mt in
+        if compare k best < 0 then k else best)
+      (cover_key ~period ~shift:u0 mt)
+      us
+
+let distinct_torus_covers ~period ~prototiles ?max_classes ?(engine = `Bitmask) ?pool ?sched
+    () =
+  let budget = match max_classes with Some k -> k | None -> max_int in
+  let covers = cover_torus ~period ~prototiles ~max_solutions:max_int ~engine ?pool ?sched () in
+  let seen = Hashtbl.create 64 in
+  let reps = ref [] in
+  let kept = ref 0 in
+  List.iter
+    (fun mt ->
+      if !kept < budget then begin
+        let k = canonical_cover_key ~period mt in
+        if not (Hashtbl.mem seen k) then begin
+          Hashtbl.replace seen k ();
+          incr kept;
+          reps := mt :: !reps
+        end
+      end)
+    covers;
+  List.rev !reps
+
+(* --- Exact cover of a finite region -------------------------------------- *)
+
+(* The repair kernel of [lib/lifetime]: cover a finite damaged window by
+   whole prototile translates.  Same branching rule as the torus engines
+   (first strict-minimum uncovered cell, candidates in ascending
+   translation order) on the same Bitset representation, but sequential -
+   repair windows are a few tiles, never a search tree worth splitting.
+
+   Plane mode has a striking rigidity: an exact cover of a finite region
+   by translates of one prototile is unique when it exists, because the
+   lexicographically least uncovered cell can only be covered by the
+   translate placing the tile's least cell there (any other placement
+   would put a lexicographically smaller tile cell inside the region,
+   still uncovered), and induction does the rest.  [torus] mode - all
+   arithmetic mod a deployment sublattice - breaks the induction (no
+   global order survives the wrap), and wrapped regions genuinely admit
+   several covers; that wrap freedom is exactly what schedule repair
+   uses. *)
+let cover_region ~region ~prototile ?torus ?(max_solutions = 64) ?keep () =
+  let norm = match torus with Some lam -> Sublattice.reduce lam | None -> fun v -> v in
+  let cells = List.sort_uniq Vec.compare region in
+  let n = List.length cells in
+  if n = 0 then invalid_arg "Search.cover_region: empty region";
+  let cell_arr = Array.of_list cells in
+  let id_of = Hashtbl.create (2 * n) in
+  Array.iteri
+    (fun i v ->
+      let key = norm v in
+      if Hashtbl.mem id_of key then
+        invalid_arg "Search.cover_region: region cells congruent mod the torus";
+      Hashtbl.replace id_of key i)
+    cell_arr;
+  let tile_cells = Prototile.cells prototile in
+  let m = List.length tile_cells in
+  let tile_ids t =
+    let ids = List.filter_map (fun n0 -> Hashtbl.find_opt id_of (norm (Vec.add t n0))) tile_cells in
+    (* Inside the region, with all [m] cells distinct (a self-overlapping
+       placement on the torus covers fewer than [m] distinct cells). *)
+    if List.length ids = m && List.length (List.sort_uniq compare ids) = m then Some ids
+    else None
+  in
+  let anchors =
+    List.concat_map (fun c -> List.map (fun n0 -> norm (Vec.sub c n0)) tile_cells) cells
+    |> List.sort_uniq Vec.compare
+    |> List.filter (fun t -> tile_ids t <> None)
+    |> Array.of_list
+  in
+  let npl = Array.length anchors in
+  let mask =
+    Array.map
+      (fun t ->
+        let b = Bitset.create n in
+        (match tile_ids t with
+        | Some ids -> List.iter (Bitset.set b) ids
+        | None -> assert false);
+        b)
+      anchors
+  in
+  (* cand.(c): placements covering cell c; conf.(p): placements whose
+     masks intersect p's (p included), killed when p is placed. *)
+  let cand = Array.init n (fun _ -> Bitset.create npl) in
+  Array.iteri (fun p m -> Bitset.iter (fun c -> Bitset.set cand.(c) p) m) mask;
+  let conf =
+    Array.init npl (fun p ->
+        let b = Bitset.create npl in
+        for q = 0 to npl - 1 do
+          if not (Bitset.disjoint mask.(p) mask.(q)) then Bitset.set b q
+        done;
+        b)
+  in
+  let keep = match keep with Some f -> f | None -> fun _ -> true in
+  let sols = ref [] in
+  let found = ref 0 in
+  let rec go covered live chosen =
+    if !found >= max_solutions then ()
+    else if Bitset.popcount covered = n then begin
+      let ts = List.sort Vec.compare (List.map (fun p -> anchors.(p)) chosen) in
+      if keep ts then begin
+        incr found;
+        sols := ts :: !sols
+      end
+    end
+    else begin
+      let best = ref (-1) in
+      let best_count = ref max_int in
+      for c = 0 to n - 1 do
+        if not (Bitset.mem covered c) then begin
+          let k = Bitset.inter_popcount cand.(c) live in
+          if k < !best_count then begin
+            best_count := k;
+            best := c
+          end
+        end
+      done;
+      if !best_count > 0 then
+        Bitset.iter
+          (fun p ->
+            if !found < max_solutions && Bitset.mem live p then begin
+              let covered' = Bitset.copy covered in
+              Bitset.union covered' mask.(p);
+              let live' = Bitset.copy live in
+              Bitset.diff live' conf.(p);
+              go covered' live' (p :: chosen)
+            end)
+          cand.(!best)
+    end
+  in
+  go (Bitset.create n) (Bitset.full npl) [];
+  List.rev !sols
+
 let exactness ?(torus_factors = default_factors) p =
   if Prototile.dim p = 2 && Polyomino.is_polyomino p then
     if Boundary_word.is_exact_polyomino p then `Exact else `NotExact

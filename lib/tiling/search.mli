@@ -116,6 +116,72 @@ val count_torus_covers :
     Engine and pool semantics are as in {!cover_torus}; every engine and
     every pool size returns the same count. *)
 
+val distinct_torus_covers :
+  period:Lattice.Sublattice.t ->
+  prototiles:Lattice.Prototile.t list ->
+  ?max_classes:int ->
+  ?engine:engine ->
+  ?pool:Parallel.pool ->
+  ?sched:Parallel.sched ->
+  unit ->
+  Multi.t list
+(** Representatives of the translation-congruence classes of {e all}
+    torus covers: two covers are congruent when translating one by some
+    [u] in [Z^d] maps it onto the other (equivalently, by some canonical
+    coset representative - period translations fix every cover).  Each
+    class is keyed by the lexicographically least of its [index]
+    translated serializations; the first cover of each class in the
+    {!cover_torus} enumeration order is kept, and the first
+    [max_classes] representatives (default: all) are returned in that
+    order.
+
+    Congruent covers use the same tile {e shapes} at shifted positions,
+    so they induce genuinely different slot assignments to sensors -
+    these classes are the raw material for duty-cycle rotation
+    ([Lifetime.Rotation]).  The underlying enumeration is exhaustive
+    ([max_solutions = max_int]), so this is for the small periods
+    rotation actually uses; engine/pool/sched semantics (and
+    determinism) are those of {!cover_torus}. *)
+
+val cover_region :
+  region:Zgeom.Vec.t list ->
+  prototile:Lattice.Prototile.t ->
+  ?torus:Lattice.Sublattice.t ->
+  ?max_solutions:int ->
+  ?keep:(Zgeom.Vec.t list -> bool) ->
+  unit ->
+  Zgeom.Vec.t list list
+(** All exact covers of the finite cell set [region] by whole translates
+    of [prototile] (at most [max_solutions], default 64): each solution
+    is the sorted list of translations [t] with the [t + N] partitioning
+    the region.  Candidate translations are exactly those with
+    [t + N] inside the region, tried in ascending {!Zgeom.Vec.compare}
+    order under the engines' shared branching rule (first strict-minimum
+    uncovered cell), so the enumeration order is deterministic.  [keep]
+    filters during the search, as in {!cover_torus}: only accepted
+    solutions count against [max_solutions].  Duplicate region cells are
+    merged; the empty region is rejected.
+
+    In plane mode (no [torus]) the answer is 0 or 1 covers, always: an
+    exact cover of a finite region by translates of one prototile is
+    unique when it exists.  (Proof: the lexicographically least
+    uncovered cell [c] must be covered by the translate placing the
+    tile's least cell at [c] - any other placement would put a
+    lexicographically smaller tile cell inside the region, still
+    uncovered - and induction on the remaining cells finishes.)
+
+    With [torus = Lambda] all arithmetic happens mod the sublattice:
+    region cells must be pairwise non-congruent ([Invalid_argument]
+    otherwise), candidate translations are canonical coset
+    representatives, tiles wrap, and self-overlapping placements are
+    discarded.  Wrapped regions escape the uniqueness argument (no
+    global order survives the wrap) and genuinely admit several covers
+    - e.g. a full wrapped row of horizontal bars slides freely.  That
+    wrap freedom is the repair kernel of the lifetime subsystem: the
+    damaged window around a dead sensor is a finite region on the
+    deployment torus, and any cover found here splices back into the
+    periodic schedule ([Lifetime.Repair]). *)
+
 val find_tiling :
   ?torus_factors:int list -> Lattice.Prototile.t -> Single.t option
 (** A single-prototile periodic tiling if one is found: first among

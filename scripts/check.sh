@@ -49,4 +49,13 @@ dune exec bin/tilesched.exe -- bench --skew --json "$bench6_json" --quota 0.02 >
 dune exec bin/tilesched.exe -- bench --skew --validate "$bench6_json"
 rm -f "$bench6_json"
 
+# And for BENCH_7.json, the EXP-L1 lifetime suite (static vs rotating
+# first-death slots, repair-solver timings).  The committed artifact is
+# schema-checked too, so a stale in-repo copy fails fast.
+bench7_json=/tmp/tilesched-bench7-smoke.json
+dune exec bin/tilesched.exe -- bench --lifetime --json "$bench7_json" --quota 0.02 > /dev/null
+dune exec bin/tilesched.exe -- bench --lifetime --validate "$bench7_json"
+rm -f "$bench7_json"
+dune exec bin/tilesched.exe -- bench --lifetime --validate BENCH_7.json
+
 echo "all checks passed"

@@ -1,0 +1,358 @@
+(* Tests for the lifetime subsystem: rotation, repair, fault injection
+   and the energy-conservation invariant. *)
+open Zgeom
+open Lattice
+
+let tiling_for p =
+  match Tiling.Search.find_tiling p with
+  | Some t -> t
+  | None -> Alcotest.fail "prototile should tile"
+
+let square k = Sublattice.of_basis [| [| k; 0 |]; [| 0; k |] |]
+
+let itet_rotation ?(epochs = 12) ?(policy = Lifetime.Rotation.Round_robin) ?(classes = 4) ()
+    =
+  let covers =
+    Tiling.Search.distinct_torus_covers ~period:(square 4)
+      ~prototiles:[ Prototile.tetromino `I ]
+      ~max_classes:classes ()
+  in
+  match
+    Lifetime.Rotation.make ~covers:(Lifetime.Rotation.balance covers) ~epoch:4 ~epochs
+      ~policy
+  with
+  | Ok r -> r
+  | Error e -> Alcotest.fail e
+
+(* --- Rotation --- *)
+
+let test_rotation_spread () =
+  List.iter
+    (fun policy ->
+      let rot = itet_rotation ~policy () in
+      let rotating = Lifetime.Rotation.spread (Lifetime.Rotation.duty rot) in
+      let static = Lifetime.Rotation.spread (Lifetime.Rotation.static_duty rot) in
+      Alcotest.(check bool)
+        (Lifetime.Rotation.policy_name policy ^ " spread strictly below static")
+        true
+        (rotating < static))
+    [ Lifetime.Rotation.Round_robin; Lifetime.Rotation.Least_depleted_first ]
+
+let test_rotation_collision_free () =
+  let rot = itet_rotation () in
+  Alcotest.(check bool) "every cover's schedule collision-free" true
+    (Lifetime.Rotation.collision_free rot);
+  (* The rotating composite agrees with the active cover's schedule at
+     every slot, including switch instants. *)
+  let schedules = Lifetime.Rotation.schedules rot in
+  let cosets = Sublattice.cosets (Lifetime.Rotation.period rot) in
+  for time = 0 to 40 do
+    let active = Lifetime.Rotation.active rot ~time in
+    List.iter
+      (fun v ->
+        Alcotest.(check bool) "composite = active schedule" true
+          (Lifetime.Rotation.may_send rot v ~time
+          = Core.Schedule.may_send schedules.(active) v ~time))
+      cosets
+  done
+
+let test_rotation_round_robin_plan () =
+  let rot = itet_rotation ~epochs:7 () in
+  Alcotest.(check (array int)) "round-robin plan" [| 0; 1; 2; 3; 0; 1; 2 |]
+    (Lifetime.Rotation.plan rot);
+  Alcotest.(check int) "plan cycles" 2 (Lifetime.Rotation.index_at rot 13)
+
+let test_rotation_least_depleted_deterministic () =
+  let a = itet_rotation ~policy:Lifetime.Rotation.Least_depleted_first () in
+  let b = itet_rotation ~policy:Lifetime.Rotation.Least_depleted_first () in
+  Alcotest.(check (array int)) "same plan on same inputs" (Lifetime.Rotation.plan a)
+    (Lifetime.Rotation.plan b);
+  (* Every cover gets used: least-depleted must not starve any class. *)
+  let used = Array.make (Lifetime.Rotation.num_covers a) false in
+  Array.iter (fun i -> used.(i) <- true) (Lifetime.Rotation.plan a);
+  Alcotest.(check bool) "all covers used" true (Array.for_all Fun.id used)
+
+let test_balance_relieves_origin () =
+  (* Raw class representatives all anchor a tile at the origin, so the
+     origin node leads every epoch (duty 1); balancing translates the
+     covers apart. *)
+  let covers =
+    Tiling.Search.distinct_torus_covers ~period:(square 4)
+      ~prototiles:[ Prototile.tetromino `I ]
+      ~max_classes:4 ()
+  in
+  let rot covers =
+    match
+      Lifetime.Rotation.make ~covers ~epoch:4 ~epochs:4 ~policy:Lifetime.Rotation.Round_robin
+    with
+    | Ok r -> Array.fold_left max 0.0 (Lifetime.Rotation.duty r)
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check (float 1e-9)) "raw representatives overload one node" 1.0 (rot covers);
+  Alcotest.(check bool) "balanced covers share the load" true
+    (rot (Lifetime.Rotation.balance covers) < 1.0)
+
+let test_rotation_rejects () =
+  let covers =
+    Tiling.Search.distinct_torus_covers ~period:(square 4)
+      ~prototiles:[ Prototile.tetromino `I ]
+      ~max_classes:2 ()
+  in
+  (match Lifetime.Rotation.make ~covers ~epoch:6 ~epochs:4 ~policy:Lifetime.Rotation.Round_robin with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "epoch not a multiple of the slot count must be rejected");
+  match Lifetime.Rotation.make ~covers:[] ~epoch:4 ~epochs:4 ~policy:Lifetime.Rotation.Round_robin with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty cover list must be rejected"
+
+(* --- Repair --- *)
+
+let test_repair_itet_wrapped_row () =
+  let base = tiling_for (Prototile.tetromino `I) in
+  let dead = Vec.make2 0 0 in
+  Alcotest.(check bool) "dead is a leader" true (Lifetime.Repair.is_leader base dead);
+  match Lifetime.Repair.repair ~deployment:(square 8) base ~dead with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    (* The damaged row wraps the torus and slides: a one-row repair. *)
+    Alcotest.(check int) "window is one wrapped row" 8 r.Lifetime.Repair.stats.Lifetime.Repair.window_cells;
+    Alcotest.(check int) "no growth rings needed" 0 r.Lifetime.Repair.stats.Lifetime.Repair.rings;
+    Alcotest.(check int) "|N| slots on the window" 4 (Lifetime.Repair.slots_on_window r);
+    Alcotest.(check bool) "window optimal" true (Lifetime.Repair.window_optimal r);
+    Alcotest.(check bool) "local outside the window" true (Lifetime.Repair.local_outside r);
+    Alcotest.(check bool) "dead demoted" false
+      (Tiling.Single.in_translation_set r.Lifetime.Repair.patched dead);
+    Alcotest.(check bool) "patched verifies" true
+      (Tiling.Single.check_window r.Lifetime.Repair.patched ~radius:6)
+
+let test_repair_non_leader () =
+  let base = tiling_for (Prototile.tetromino `I) in
+  let dead = Vec.make2 1 0 in
+  Alcotest.(check bool) "dead is not a leader" false (Lifetime.Repair.is_leader base dead);
+  match Lifetime.Repair.repair ~deployment:(square 8) base ~dead with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    Alcotest.(check int) "identity patch" 0 (List.length r.Lifetime.Repair.changed);
+    Alcotest.(check int) "no tiles removed" 0 r.Lifetime.Repair.stats.Lifetime.Repair.window_tiles;
+    Alcotest.(check bool) "local trivially" true (Lifetime.Repair.local_outside r)
+
+let test_repair_window_too_small () =
+  (* The S-tetromino needs one growth ring on the 8x8 torus; forbidding
+     growth must produce an honest error, not a bogus patch. *)
+  let base = tiling_for (Prototile.tetromino `S) in
+  let dead = Vec.make2 0 0 in
+  (match Lifetime.Repair.repair ~max_rings:0 ~deployment:(square 8) base ~dead with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "zero-ring S-tet repair should be infeasible");
+  match Lifetime.Repair.repair ~deployment:(square 8) base ~dead with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    Alcotest.(check int) "one ring suffices" 1 r.Lifetime.Repair.stats.Lifetime.Repair.rings;
+    Alcotest.(check bool) "window optimal" true (Lifetime.Repair.window_optimal r);
+    Alcotest.(check bool) "local outside the window" true (Lifetime.Repair.local_outside r)
+
+let test_repair_rejects_bad_deployment () =
+  (* cheb1's period [[1;3];[0;9]] does not contain (0,12): the 12x12
+     torus is not a quotient of the tiling. *)
+  let base = tiling_for (Prototile.chebyshev_ball ~dim:2 1) in
+  match Lifetime.Repair.repair ~deployment:(square 12) base ~dead:(Vec.make2 0 0) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-sublattice deployment must be rejected"
+
+let qcheck_repair_random_polyomino =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 4 >>= fun steps ->
+      int_bound 1_000_000 >|= fun seed ->
+      let rng = Prng.Xoshiro.create (Int64.of_int seed) in
+      Randomtile.polyomino rng ~cells:(steps + 1))
+  in
+  let arb = QCheck.make ~print:Prototile.to_string gen in
+  QCheck.Test.make ~name:"random-prototile repairs are certified, |N|-slot, local" ~count:25
+    arb (fun p ->
+      match Tiling.Search.find_lattice_tiling p with
+      | None -> QCheck.assume_fail ()
+      | Some base ->
+        let period = Tiling.Single.period base in
+        let deployment =
+          Sublattice.of_basis (Array.map (Array.map (fun x -> 4 * x)) (Sublattice.basis period))
+        in
+        let dead = List.hd (Tiling.Single.offsets base) in
+        (match Lifetime.Repair.repair ~deployment base ~dead with
+        | Error _ ->
+          (* Honest infeasibility is acceptable: some windows never wrap
+             within the ring budget. *)
+          true
+        | Ok r ->
+          Lifetime.Repair.slots_on_window r = Prototile.size p
+          && Lifetime.Repair.window_optimal r
+          && Lifetime.Repair.local_outside r
+          && not (Tiling.Single.in_translation_set r.Lifetime.Repair.patched dead)))
+
+(* --- Fault injection and energy conservation --- *)
+
+let lifetime_config ?(battery = None) ?(extra_cost = None) ?(random_deaths = 0)
+    ?(churn = 0) ~mac () =
+  { (Netsim.Sim.default_config ~mac) with
+    Netsim.Sim.width = 8;
+    height = 8;
+    prototile = Prototile.tetromino `I;
+    duration = 1200;
+    workload = Netsim.Workload.Periodic { interval = 40 };
+    faults =
+      { Netsim.Faults.none with
+        Netsim.Faults.battery;
+        random_deaths;
+        churn;
+        downtime = 30;
+        extra_cost;
+      };
+  }
+
+let test_faults_deterministic_schedule () =
+  let spec =
+    { Netsim.Faults.none with Netsim.Faults.random_deaths = 3; churn = 2; downtime = 10 }
+  in
+  let events rng = Netsim.Faults.schedule spec ~rng ~num_nodes:64 ~duration:1000 in
+  let a = events (Prng.Xoshiro.create 9L) and b = events (Prng.Xoshiro.create 9L) in
+  Alcotest.(check bool) "same rng, same events" true (a = b);
+  Alcotest.(check bool) "sorted by compare_event" true
+    (List.for_all2
+       (fun x y -> Netsim.Faults.compare_event x y <= 0)
+       (List.filteri (fun i _ -> i < List.length a - 1) a)
+       (List.tl a))
+
+let test_random_deaths_kill () =
+  let base = tiling_for (Prototile.tetromino `I) in
+  let schedule = Core.Schedule.of_tiling base in
+  let cfg =
+    lifetime_config ~random_deaths:3 ~mac:(Netsim.Mac.lattice_tdma schedule) ()
+  in
+  let r = Netsim.Sim.run cfg in
+  Alcotest.(check int) "three deaths" 3 (List.length r.Netsim.Sim.deaths);
+  Alcotest.(check int) "alive accounts for the dead" (64 - 3) r.Netsim.Sim.alive_at_end;
+  Alcotest.(check bool) "packet conservation with faults" true (Netsim.Sim.conservation_ok r);
+  Alcotest.(check bool) "energy conservation with faults" true
+    (Netsim.Sim.energy_conservation_ok cfg.Netsim.Sim.energy_model r);
+  Alcotest.(check bool) "first death reported" true (Netsim.Sim.first_death r <> None)
+
+let test_energy_conservation_across_seeds_and_jobs () =
+  let rot = itet_rotation ~epochs:8 () in
+  let cfg =
+    lifetime_config ~battery:(Some 40.0)
+      ~extra_cost:(Some (Lifetime.Rotation.extra_cost rot ~leader_cost:0.5))
+      ~churn:2 ~mac:(Lifetime.Rotation.mac rot) ()
+  in
+  let seeds = [ 1L; 2L; 3L; 4L ] in
+  let sweep jobs =
+    Parallel.with_pool ~jobs (fun pool -> Netsim.Sim.run_sweep ~pool cfg ~seeds)
+  in
+  let r1 = sweep 1 and r4 = sweep 4 in
+  Alcotest.(check bool) "sweep identical at jobs 1 and 4" true (r1 = r4);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "packet conservation" true (Netsim.Sim.conservation_ok r);
+      Alcotest.(check bool) "energy conservation" true
+        (Netsim.Sim.energy_conservation_ok cfg.Netsim.Sim.energy_model r);
+      (* Battery capacity 40 with leaders paying +0.5/slot: somebody must
+         have died, and nobody's account may exceed capacity by more than
+         one slot's worth of energy. *)
+      Alcotest.(check bool) "battery deaths occurred" true (r.Netsim.Sim.deaths <> []);
+      Array.iter
+        (fun acc ->
+          Alcotest.(check bool) "no post-death spending" true
+            (acc.Netsim.Energy.consumed < 40.0 +. 1.0 +. 0.5))
+        r.Netsim.Sim.node_accounts)
+    r1
+
+let test_sweep_traces_per_seed () =
+  let base = tiling_for (Prototile.tetromino `I) in
+  let schedule = Core.Schedule.of_tiling base in
+  let cfg =
+    lifetime_config ~random_deaths:2 ~mac:(Netsim.Mac.lattice_tdma schedule) ()
+  in
+  let seeds = [ 5L; 6L ] in
+  let logs jobs =
+    let sinks = Hashtbl.create 4 in
+    let trace_of seed =
+      let t = Netsim.Trace.create () in
+      Hashtbl.replace sinks seed t;
+      Some t
+    in
+    Parallel.with_pool ~jobs (fun pool ->
+        ignore (Netsim.Sim.run_sweep ~pool ~trace_of cfg ~seeds));
+    List.map (fun s -> Netsim.Trace.to_log (Hashtbl.find sinks s)) seeds
+  in
+  let l1 = logs 1 and l4 = logs 4 in
+  Alcotest.(check (list string)) "per-seed traces identical across jobs" l1 l4;
+  (* The sweep must actually fill the sinks (the old behavior silently
+     forced tracing off), and the injected deaths must be visible. *)
+  List.iter
+    (fun log ->
+      Alcotest.(check bool) "trace non-empty" true (String.length log > 0);
+      Alcotest.(check bool) "deaths traced" true
+        (String.length log >= 4
+        && List.exists
+             (fun line ->
+               String.length line > 5 && String.sub line (String.length line - 4) 4 = "died")
+             (String.split_on_char '\n' log)))
+    l1;
+  (* Distinct seeds give distinct histories. *)
+  Alcotest.(check bool) "seeds differ" true (List.nth l1 0 <> List.nth l1 1)
+
+let test_rotation_extends_lifetime () =
+  (* The EXP-L1 claim in miniature: under a leader surcharge and a finite
+     battery, rotating leadership strictly delays the first death. *)
+  let static = itet_rotation ~classes:1 ~epochs:1 () in
+  let rotating =
+    itet_rotation ~classes:4 ~epochs:12 ~policy:Lifetime.Rotation.Least_depleted_first ()
+  in
+  let run rot =
+    let cfg =
+      lifetime_config ~battery:(Some 30.0)
+        ~extra_cost:(Some (Lifetime.Rotation.extra_cost rot ~leader_cost:1.0))
+        ~mac:(Lifetime.Rotation.mac rot) ()
+    in
+    Netsim.Sim.run cfg
+  in
+  let rs = run static and rr = run rotating in
+  match (Netsim.Sim.first_death rs, Netsim.Sim.first_death rr) with
+  | Some ts, Some tr ->
+    Alcotest.(check bool)
+      (Printf.sprintf "rotation delays first death (%d > %d)" tr ts)
+      true (tr > ts)
+  | Some _, None -> () (* rotation kept everyone alive: even better *)
+  | None, _ -> Alcotest.fail "static run must deplete some leader"
+
+let () =
+  Alcotest.run "lifetime"
+    [
+      ( "rotation",
+        [
+          Alcotest.test_case "spread strictly below static" `Quick test_rotation_spread;
+          Alcotest.test_case "collision-free composite" `Quick test_rotation_collision_free;
+          Alcotest.test_case "round-robin plan" `Quick test_rotation_round_robin_plan;
+          Alcotest.test_case "least-depleted deterministic" `Quick
+            test_rotation_least_depleted_deterministic;
+          Alcotest.test_case "balance relieves the origin" `Quick test_balance_relieves_origin;
+          Alcotest.test_case "rejects bad parameters" `Quick test_rotation_rejects;
+        ] );
+      ( "repair",
+        [
+          Alcotest.test_case "I-tet wrapped-row repair" `Quick test_repair_itet_wrapped_row;
+          Alcotest.test_case "non-leader death is identity" `Quick test_repair_non_leader;
+          Alcotest.test_case "too-small window is honest" `Quick test_repair_window_too_small;
+          Alcotest.test_case "rejects bad deployment" `Quick test_repair_rejects_bad_deployment;
+          QCheck_alcotest.to_alcotest qcheck_repair_random_polyomino;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "deterministic fault schedule" `Quick
+            test_faults_deterministic_schedule;
+          Alcotest.test_case "random deaths kill" `Quick test_random_deaths_kill;
+          Alcotest.test_case "energy conservation, seeds x jobs" `Quick
+            test_energy_conservation_across_seeds_and_jobs;
+          Alcotest.test_case "per-seed sweep traces" `Quick test_sweep_traces_per_seed;
+          Alcotest.test_case "rotation extends lifetime" `Quick test_rotation_extends_lifetime;
+        ] );
+    ]

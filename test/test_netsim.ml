@@ -307,7 +307,7 @@ let test_trace_engine_consistency () =
       | Netsim.Trace.Arrived _ -> incr arrivals
       | Netsim.Trace.Sent { outcome = `Delivered; _ } -> incr delivered
       | Netsim.Trace.Sent _ -> incr collided
-      | Netsim.Trace.Dropped _ -> ())
+      | Netsim.Trace.Dropped _ | Netsim.Trace.Died _ -> ())
     (Netsim.Trace.events tr);
   Alcotest.(check int) "arrivals match" r.Netsim.Sim.stats.Netsim.Stats.arrivals !arrivals;
   Alcotest.(check int) "deliveries match" r.Netsim.Sim.stats.Netsim.Stats.delivered !delivered;
