@@ -472,14 +472,37 @@ let serve_cmd =
           ~doc:"Per-search wall-clock budget (0 = unbounded). Expired searches answer \
                 deadline, are not cached, and may succeed on retry.")
   in
-  let run () socket cache queue deadline store_path =
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Sealed verdict corpus (built with 'tilesched corpus build'). Mapped read-only and \
+             probed before every other tier; hits answer src=corpus without searching.")
+  in
+  let run () socket cache queue deadline store_path corpus_path =
+    let ( let* ) = Result.bind in
     if cache < 1 then Error (`Msg "--cache must be at least 1")
     else if queue < 1 then Error (`Msg "--queue must be at least 1")
     else begin
       let deadline = if deadline > 0.0 then Some deadline else None in
+      let* corpus =
+        match corpus_path with
+        | None -> Ok None
+        | Some dir -> (
+          match Corpus.Snapshot.open_ dir with
+          | Ok snap ->
+            Printf.eprintf "tilesched serve: corpus %s: %d precomputed verdicts\n%!" dir
+              (Corpus.Snapshot.length snap);
+            Ok (Some snap)
+          | Error msg -> Error (`Msg msg))
+      in
       let store = Option.map Store.open_ store_path in
       Option.iter report_recovery store;
-      let engine = Server.create ~cache_capacity:cache ~queue_bound:queue ?deadline ?store () in
+      let engine =
+        Server.create ~cache_capacity:cache ~queue_bound:queue ?deadline ?store ?corpus ()
+      in
       (match socket with
       | None -> Server.Frontend.serve_stdio engine
       | Some path ->
@@ -500,8 +523,11 @@ let serve_cmd =
        ~doc:
          "Run the schedule server: one request line in, one reply line out (see README for \
           the wire protocol). Congruent tiles share one cached search result; with --store, \
-          settled results also survive restarts.")
-    Term.(term_result (const run $ jobs_term $ socket_arg $ cache $ queue $ deadline $ store_arg))
+          settled results also survive restarts; with --corpus, precomputed verdicts are \
+          served from an mmap snapshot without deserialization.")
+    Term.(
+      term_result
+        (const run $ jobs_term $ socket_arg $ cache $ queue $ deadline $ store_arg $ corpus))
 
 let precompute_cmd =
   let max_area =
@@ -546,6 +572,122 @@ let precompute_cmd =
           verdict - tiling + certificate, or proven exhaustion - to the certificate store. A \
           daemon started with the same --store then answers those queries without searching.")
     Term.(term_result (const run $ jobs_term $ max_area $ store_arg $ print_requests))
+
+(* ---------- corpus ---------- *)
+
+let corpus_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Corpus directory.")
+  in
+  let build_cmd =
+    let max_area =
+      Arg.(
+        value & opt int 10
+        & info [ "n"; "max-area" ] ~docv:"N"
+            ~doc:"Decide every free polyomino of area at most N (OEIS A000105 classes).")
+    in
+    let shards =
+      Arg.(
+        value & opt int 8
+        & info [ "shards" ] ~docv:"K"
+            ~doc:"Segment shards (must match when resuming an existing corpus).")
+    in
+    let kill_at =
+      Arg.(
+        value & opt int 0
+        & info [ "kill-at" ] ~docv:"BAND"
+            ~doc:
+              "Test hook: kill -9 this process halfway through band BAND's appends, leaving a \
+               torn corpus for the crash-recovery checks (0 = disabled).")
+    in
+    let run () dir max_area shards kill_at =
+      if max_area < 1 then Error (`Msg "-n must be at least 1")
+      else begin
+        let progress ~n ~done_ ~total =
+          if n = kill_at && done_ = (total + 1) / 2 then
+            Unix.kill (Unix.getpid ()) Sys.sigkill
+        in
+        match Corpus.Campaign.run ~shards ~progress ~dir ~max_n:max_area () with
+        | Ok report ->
+          Format.printf "%a@." Corpus.Campaign.pp_report report;
+          Ok ()
+        | Error msg -> Error (`Msg msg)
+      end
+    in
+    Cmd.v
+      (Cmd.info "build"
+         ~doc:
+           "Build (or resume) the verdict corpus: enumerate the free polyominoes band by band, \
+            decide each with the Beauquier-Nivat criterion (spread over -j domains), append the \
+            verdicts to sharded segments with a fsynced checkpoint after every band, and seal \
+            the per-shard indexes. A killed build resumes from its last checkpoint and produces \
+            a byte-identical corpus.")
+      Term.(term_result (const run $ jobs_term $ dir_arg $ max_area $ shards $ kill_at))
+  in
+  let stats_cmd =
+    (* Reads the manifest directly (not through Snapshot.open_) so a
+       half-built, unsealed corpus can still be inspected. *)
+    let run dir =
+      let path = Filename.concat dir Corpus.Layout.manifest_name in
+      if not (Sys.file_exists path) then
+        Error (`Msg (Printf.sprintf "no corpus at %s (missing %s)" dir Corpus.Layout.manifest_name))
+      else
+        match
+          Corpus.Layout.manifest_of_string (In_channel.with_open_bin path In_channel.input_all)
+        with
+        | Error msg -> Error (`Msg msg)
+        | Ok m ->
+          Printf.printf "corpus %s: shards=%d sealed=%b bands=%d\n" dir m.Corpus.Layout.shards
+            m.Corpus.Layout.sealed
+            (List.length m.Corpus.Layout.bands);
+          List.iter
+            (fun b ->
+              Printf.printf "band n=%d classes=%d exact=%d non-exact=%d\n" b.Corpus.Layout.n
+                b.Corpus.Layout.classes b.Corpus.Layout.exact b.Corpus.Layout.non_exact)
+            m.Corpus.Layout.bands;
+          let tot f = List.fold_left (fun acc b -> acc + f b) 0 m.Corpus.Layout.bands in
+          Printf.printf "total classes=%d exact=%d non-exact=%d\n"
+            (tot (fun b -> b.Corpus.Layout.classes))
+            (tot (fun b -> b.Corpus.Layout.exact))
+            (tot (fun b -> b.Corpus.Layout.non_exact));
+          Ok ()
+    in
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "Print the corpus manifest: per-band class/exact/non-exact counts and totals (works \
+            on an unsealed, half-built corpus too).")
+      Term.(term_result (const run $ dir_arg))
+  in
+  let verify_cmd =
+    let run () dir =
+      match Corpus.Snapshot.verify ~dir with
+      | Ok r ->
+        Printf.printf
+          "corpus %s: ok (%d records: %d exact, %d non-exact; %d index entries; every \
+           certificate re-proved)\n"
+          dir r.Corpus.Snapshot.records r.Corpus.Snapshot.exact r.Corpus.Snapshot.non_exact
+          r.Corpus.Snapshot.indexed;
+        Ok ()
+      | Error msg -> Error (`Msg msg)
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Re-prove a sealed corpus from its bytes: CRC and framing of every record, canonical \
+            keys, certificate checks, index completeness, and manifest agreement.")
+      Term.(term_result (const run $ jobs_term $ dir_arg))
+  in
+  Cmd.group
+    (Cmd.info "corpus"
+       ~doc:
+         "Precomputed verdict corpus: a BN-filtered campaign over all small polyomino classes, \
+          stored in sharded mmap-ready segments and served by 'tilesched serve --corpus' with \
+          zero deserialization.")
+    [ build_cmd; stats_cmd; verify_cmd ]
 
 let loadgen_cmd =
   let requests =
@@ -921,18 +1063,28 @@ let bench_cmd =
             "Run (or validate) the EXP-L1 lifetime suite instead: static vs rotating \
              first-battery-death slots and the repair-solver timings, emitted as BENCH_7.json.")
   in
+  let corpus_arg =
+    Arg.(
+      value & flag
+      & info [ "corpus" ]
+          ~doc:
+            "Run (or validate) the EXP-CORPUS corpus suite instead: mmap-snapshot vs store lookup \
+             latency, warm and cold-start, emitted as BENCH_8.json.")
+  in
   let read_file path =
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let run () json validate quota skew lifetime =
-    if skew && lifetime then Error (`Msg "--skew and --lifetime are mutually exclusive")
+  let run () json validate quota skew lifetime corpus =
+    if (if skew then 1 else 0) + (if lifetime then 1 else 0) + (if corpus then 1 else 0) > 1 then
+      Error (`Msg "--skew, --lifetime and --corpus are mutually exclusive")
     else
     let required =
       if lifetime then Microbench.required_lifetime
       else if skew then Microbench.required_skew
+      else if corpus then Microbench.required_corpus
       else Microbench.required
     in
     match validate with
@@ -948,6 +1100,7 @@ let bench_cmd =
         let rows =
           if lifetime then Microbench.run_lifetime ~quota ()
           else if skew then Microbench.run_skew ~quota ()
+          else if corpus then Microbench.run_corpus ~quota ()
           else Microbench.run ~quota ()
         in
         Printf.printf "%-42s %16s\n" "benchmark" "ns/call";
@@ -974,10 +1127,12 @@ let bench_cmd =
          "Run the Bechamel micro-benchmark suite (including the three torus exact-cover engines) \
           and optionally emit or validate the machine-readable BENCH_5.json artifact; with \
           $(b,--skew), the EXP-P3 static-vs-steal scheduler suite and BENCH_6.json instead; with \
-          $(b,--lifetime), the EXP-L1 rotation/repair suite and BENCH_7.json.")
+          $(b,--lifetime), the EXP-L1 rotation/repair suite and BENCH_7.json; with \
+          $(b,--corpus), the EXP-CORPUS mmap-vs-store lookup suite and BENCH_8.json.")
     Term.(
       term_result
-        (const run $ jobs_term $ json_arg $ validate_arg $ quota_arg $ skew_arg $ lifetime_arg))
+        (const run $ jobs_term $ json_arg $ validate_arg $ quota_arg $ skew_arg $ lifetime_arg
+       $ corpus_arg))
 
 let () =
   let doc = "Collision-free sensor scheduling by lattice tilings (Klappenecker-Lee-Welch 2008)" in
@@ -985,5 +1140,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "tilesched" ~version:"1.0.0" ~doc)
           [ figure_cmd; exact_cmd; schedule_cmd; color_cmd; simulate_cmd; export_cmd; sync_cmd;
-            certify_cmd; serve_cmd; loadgen_cmd; precompute_cmd; lifetime_cmd; bench_cmd;
-            lint_cmd ]))
+            certify_cmd; serve_cmd; loadgen_cmd; precompute_cmd; corpus_cmd; lifetime_cmd;
+            bench_cmd; lint_cmd ]))

@@ -56,25 +56,40 @@ let is_polyomino p = is_connected p && not (has_holes p)
    one 4-neighbour cell added, deduplicated.  Canonicalizing each
    candidate makes congruent growths collide, so the frontier stays one
    tile per congruence class. *)
-let enumerate_free n =
-  if n < 1 then invalid_arg "Polyomino.enumerate_free: area must be >= 1";
-  let grow p =
+module PSet = Set.Make (Prototile)
+
+(* Streaming form: visit every band without ever holding more than one
+   band (plus the next band under construction) in memory.  Growing into
+   a set instead of sort_uniq-ing a concatenated candidate list also
+   dedups incrementally, so the ~8x-per-tile candidate multiset of the
+   old implementation never materializes.  [PSet.iter] visits in
+   [Prototile.compare] order, which keeps the band order identical to
+   the historical [sort_uniq] one. *)
+let enumerate_free_iter ~max_area f =
+  if max_area < 1 then invalid_arg "Polyomino.enumerate_free_iter: area must be >= 1";
+  let grow_into acc p =
     let cells = Prototile.cells p in
     let cell_set = Prototile.cell_set p in
-    List.concat_map
-      (fun c ->
-        List.filter_map
-          (fun nb ->
-            if Vec.Set.mem nb cell_set then None
-            else Some (Symmetry.canonical (Prototile.of_cells_anchored (nb :: cells))))
-          (neighbours4 c))
-      cells
+    List.fold_left
+      (fun acc c ->
+        List.fold_left
+          (fun acc nb ->
+            if Vec.Set.mem nb cell_set then acc
+            else PSet.add (Symmetry.canonical (Prototile.of_cells_anchored (nb :: cells))) acc)
+          acc (neighbours4 c))
+      acc cells
   in
-  let rec go k tiles =
-    if k = n then tiles
-    else go (k + 1) (List.sort_uniq Prototile.compare (List.concat_map grow tiles))
+  let rec go k band =
+    PSet.iter (fun t -> f ~area:k t) band;
+    if k < max_area then go (k + 1) (PSet.fold (fun p acc -> grow_into acc p) band PSet.empty)
   in
-  go 1 [ Prototile.of_cells [ Vec.zero 2 ] ]
+  go 1 (PSet.singleton (Prototile.of_cells [ Vec.zero 2 ]))
+
+let enumerate_free n =
+  if n < 1 then invalid_arg "Polyomino.enumerate_free: area must be >= 1";
+  let acc = ref [] in
+  enumerate_free_iter ~max_area:n (fun ~area t -> if area = n then acc := t :: !acc);
+  List.rev !acc
 
 let perimeter p =
   let cells = Prototile.cell_set p in

@@ -26,6 +26,15 @@ val boundary_word : Prototile.t -> string
 val area : Prototile.t -> int
 (** Number of cells. *)
 
+val enumerate_free_iter : max_area:int -> (area:int -> Prototile.t -> unit) -> unit
+(** Visit every free polyomino of area [1 .. max_area], band by band in
+    increasing area, each band in {!Prototile.compare} order - the same
+    tiles in the same order as concatenating {!enumerate_free} over
+    [1 .. max_area], without ever materializing more than one band (the
+    current frontier) at a time.  This is the corpus campaign's
+    enumerator: at [max_area = 12] the full list would be 87146 tiles
+    while the largest single band is 63600.  Requires [max_area >= 1]. *)
+
 val enumerate_free : int -> Prototile.t list
 (** All {e free} polyominoes of area exactly [n]: one prototile per
     congruence class (rotations, reflections, translations), each its

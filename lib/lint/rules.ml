@@ -53,10 +53,10 @@ let all =
       id = "R4";
       title = "crash safety";
       rationale =
-        "The store's atomic-replace protocol is fsync-then-rename; a rename without a \
-         preceding fsync in the same function can publish a file whose blocks are still in \
-         the page cache, losing the snapshot on power failure.";
-      scope = Under [ "lib/store/" ];
+        "The store's and corpus's atomic-replace protocol is fsync-then-rename; a rename \
+         without a preceding fsync in the same function can publish a file whose blocks are \
+         still in the page cache, losing the snapshot on power failure.";
+      scope = Under [ "lib/store/"; "lib/corpus/" ];
       allow = [];
     };
     {

@@ -176,6 +176,98 @@ let run_lifetime ?(quota = 0.5) () =
   in
   List.sort Stdlib.compare (run_tests ~quota tests @ slot_rows)
 
+let required_corpus =
+  [
+    "corpus-mmap-find-warm";
+    "corpus-store-find-warm";
+    "corpus-mmap-coldstart-find";
+    "corpus-store-coldstart-find";
+  ]
+
+(* The EXP-CORPUS instance: the full n <= 7 corpus (164 canonical classes)
+   built fresh in a temp directory, next to a certificate store holding
+   the same verdicts (written straight from the BN decisions, no
+   search).  The warm rows compare one [find] against each resident
+   tier; the coldstart rows open the tier, find one key, and close it -
+   the store replays and re-validates its whole log before the first
+   answer, the snapshot just mmaps, which is the asymmetry the corpus
+   subsystem exists to exploit. *)
+let corpus_bench_max_n = 7
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let run_corpus ?(quota = 0.5) () =
+  if quota <= 0.0 then invalid_arg "Microbench.run_corpus: quota must be positive";
+  let open Bechamel in
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tilesched-corpus-bench-%d" (Unix.getpid ()))
+  in
+  let corpus_dir = Filename.concat root "corpus" in
+  let store_path = Filename.concat root "store.log" in
+  let clean () =
+    rm_rf corpus_dir;
+    rm_rf root
+  in
+  clean ();
+  Unix.mkdir root 0o755;
+  Fun.protect ~finally:clean (fun () ->
+      (match Corpus.Campaign.run ~dir:corpus_dir ~max_n:corpus_bench_max_n () with
+      | Ok _ -> ()
+      | Error e -> invalid_arg ("Microbench.run_corpus: " ^ e));
+      let keys = ref [] in
+      let store = Store.open_ store_path in
+      Polyomino.enumerate_free_iter ~max_area:corpus_bench_max_n (fun ~area:_ tile ->
+          let key = Store.key_of_prototile tile in
+          keys := key :: !keys;
+          Store.put store key
+            (match Corpus.Campaign.decide tile with
+            | Corpus.Campaign.Non_exact -> Store.No_tiling
+            | Corpus.Campaign.Exact { tiling; certificate } ->
+              Store.Found { tiling; certificate }));
+      Store.close store;
+      let keys = Array.of_list (List.rev !keys) in
+      let snap =
+        match Corpus.Snapshot.open_ corpus_dir with
+        | Ok s -> s
+        | Error e -> invalid_arg ("Microbench.run_corpus: " ^ e)
+      in
+      let store = Store.open_ store_path in
+      let i = ref 0 in
+      let next () =
+        let k = keys.(!i) in
+        i := (!i + 1) mod Array.length keys;
+        k
+      in
+      let probe = keys.(Array.length keys / 2) in
+      let tests =
+        Test.make_grouped ~name:"corpus"
+          [
+            Test.make ~name:"corpus-mmap-find-warm"
+              (Staged.stage (fun () -> Corpus.Snapshot.find snap (next ())));
+            Test.make ~name:"corpus-store-find-warm"
+              (Staged.stage (fun () -> Store.find store (next ())));
+            Test.make ~name:"corpus-mmap-coldstart-find"
+              (Staged.stage (fun () ->
+                   match Corpus.Snapshot.open_ corpus_dir with
+                   | Ok s -> Corpus.Snapshot.find s probe
+                   | Error e -> invalid_arg e));
+            Test.make ~name:"corpus-store-coldstart-find"
+              (Staged.stage (fun () ->
+                   let s = Store.open_ store_path in
+                   let r = Store.find s probe in
+                   Store.close s;
+                   r));
+          ]
+      in
+      let rows = run_tests ~quota tests in
+      Store.close store;
+      rows)
+
 let run ?(quota = 0.5) () =
   if quota <= 0.0 then invalid_arg "Microbench.run: quota must be positive";
   let open Bechamel in

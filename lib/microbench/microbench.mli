@@ -86,6 +86,24 @@ val required_lifetime : string list
     artifact: the static and rotating lifetime rows and the repair
     solver timings. *)
 
+val run_corpus : ?quota:float -> unit -> row list
+(** The corpus suite (EXP-CORPUS), serialized to [BENCH_8.json].  Builds the
+    full [n <= 7] verdict corpus (164 canonical classes) in a temp
+    directory plus a certificate store holding the same verdicts, then
+    measures a single key lookup against each tier: warm
+    ([corpus-mmap-find-warm] vs [corpus-store-find-warm], both tiers
+    resident, cycling through every key) and cold-start
+    ([corpus-mmap-coldstart-find] vs [corpus-store-coldstart-find]:
+    open the tier, find one key, close it).  The cold-start pair is the
+    headline: {!Store.open_} replays and re-validates its whole log
+    before the first answer, {!Corpus.Snapshot.open_} just maps the
+    files, so the gap grows linearly with corpus size.  [quota] as in
+    {!run}. *)
+
+val required_corpus : string list
+(** The name substrings {!validate_json} demands of the [BENCH_8.json]
+    artifact: the four {!run_corpus} rows. *)
+
 val to_json : row list -> string
 (** Serialize rows as a JSON array of two-key objects, one per line.
     Output round-trips through {!validate_json} provided the rows

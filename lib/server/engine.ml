@@ -15,6 +15,7 @@ type entry =
 type t = {
   cache : entry Cache.t;
   store : Store.t option;
+  corpus : Corpus.Snapshot.t option;
   queue_bound : int;
   deadline : float option;
   torus_factors : int list;
@@ -27,15 +28,16 @@ type t = {
   mutable coalesced : int;
   mutable timeouts : int;
   mutable store_hits : int;
+  mutable corpus_hits : int;
 }
 
 let create ?(cache_capacity = 256) ?(queue_bound = 512) ?deadline
-    ?(torus_factors = [ 1; 2; 3; 4 ]) ?(search_engine = `Bitmask) ?pool ?store () =
+    ?(torus_factors = [ 1; 2; 3; 4 ]) ?(search_engine = `Bitmask) ?pool ?store ?corpus () =
   if queue_bound < 1 then invalid_arg "Engine.create: queue_bound must be >= 1";
   let pool = match pool with Some p -> p | None -> Parallel.default () in
-  { cache = Cache.create ~capacity:cache_capacity; store; queue_bound; deadline;
+  { cache = Cache.create ~capacity:cache_capacity; store; corpus; queue_bound; deadline;
     torus_factors; search_engine; pool; served = 0; overloaded = 0; errors = 0;
-    searches = 0; coalesced = 0; timeouts = 0; store_hits = 0 }
+    searches = 0; coalesced = 0; timeouts = 0; store_hits = 0; corpus_hits = 0 }
 
 let queue_bound t = t.queue_bound
 
@@ -46,7 +48,8 @@ let stats t : Protocol.server_stats =
   let cache_hits, cache_misses, cache_evictions = Cache.counters t.cache in
   { served = t.served; overloaded = t.overloaded; errors = t.errors; searches = t.searches;
     coalesced = t.coalesced; timeouts = t.timeouts; cache_hits; cache_misses;
-    cache_evictions; cache_entries = Cache.length t.cache; store_hits = t.store_hits }
+    cache_evictions; cache_entries = Cache.length t.cache; store_hits = t.store_hits;
+    corpus_hits = t.corpus_hits }
 
 (* The store speaks in durable artifacts (tiling + certificate); the
    memory tier additionally holds the derived schedule.  Rebuilding it
@@ -196,10 +199,39 @@ let answer t (req : Protocol.request) ~tile ~g ~source entry : Protocol.response
       | Tile_search _ -> Tiling_r { tiling = tl; certificate = Lazy.force cert; source }
       | Stats | Shutdown -> assert false))
 
+(* Answer straight from the mmap snapshot.  A [Tile_search] for the
+   canonical orientation takes the zero-deserialization road: the stored
+   tiling line's fields are sliced from the mapped segment and spliced
+   verbatim into the reply ([Tiling_raw_r]) - no decode, no revalidation,
+   no allocation beyond the reply line itself.  Every other shape
+   (slot/schedule derivation, congruent orientations needing transport)
+   decodes through [Snapshot.entry] and reuses the ordinary [answer]
+   path.  Corpus hits never populate the LRU: the snapshot lookup is
+   already O(log) in a mapped index, so promotion would only evict
+   entries the slower tiers still need. *)
+let answer_corpus t (req : Protocol.request) ~tile ~canon ~g corpus hit : Protocol.response =
+  let source = Some Protocol.Corpus in
+  match Corpus.Snapshot.verdict corpus hit with
+  | `Non_exact -> No_tiling source
+  | `Exact -> (
+    match req with
+    | Tile_search _ when Prototile.equal tile canon ->
+      Tiling_raw_r { tiling_fields = Corpus.Snapshot.tiling_fields corpus hit; source }
+    | _ -> (
+      match Corpus.Snapshot.entry corpus hit with
+      | Ok (Some (tiling, certificate)) ->
+        answer t req ~tile ~g ~source
+          (Found { tiling; schedule = Core.Schedule.of_tiling tiling; certificate })
+      | Ok None -> assert false (* verdict above was [`Exact] *)
+      | Error msg ->
+        t.errors <- t.errors + 1;
+        Error_r ("corpus: " ^ msg)))
+
 let handle_batch t reqs =
-  (* Pass 1: admission control, canonicalization, two-tier lookup
-     (memory, then the persistent store; a store hit is promoted into
-     the LRU so congruent followers hit memory). *)
+  (* Pass 1: admission control, canonicalization, tiered lookup (the
+     mmap corpus snapshot first - it is read-only and O(log) to probe -
+     then memory, then the persistent store; a store hit is promoted
+     into the LRU so congruent followers hit memory). *)
   let resolutions =
     List.mapi
       (fun i (req : Protocol.request) ->
@@ -210,7 +242,15 @@ let handle_batch t reqs =
           | Slot { tile; _ } | Schedule tile | Tile_search tile ->
             let canon, g = Symmetry.canonicalize tile in
             let key = Core.Codec.vecs_to_string (Prototile.cells canon) in
-            (match Cache.find t.cache key with
+            (match
+               Option.bind t.corpus (fun c ->
+                   Option.map (fun h -> (c, h)) (Corpus.Snapshot.find c key))
+             with
+            | Some (c, hit) ->
+              t.corpus_hits <- t.corpus_hits + 1;
+              Immediate (answer_corpus t req ~tile ~canon ~g c hit)
+            | None ->
+            match Cache.find t.cache key with
             | Some entry ->
               Immediate (answer t req ~tile ~g ~source:(Some Protocol.Memory) entry)
             | None -> (

@@ -23,9 +23,17 @@
       through, so proven results survive restarts and a warmed store
       answers without ever invoking {!Tiling.Search}.  Timeouts are not
       persisted, like they are not cached.
+    - {b Precomputation.}  With a [corpus] attached (a sealed
+      {!Corpus.Snapshot}), every tile request probes the mmap-backed
+      verdict corpus {e before} the memory/store/search chain.  A hit
+      answers with [src=corpus] and never touches the cache or the
+      search pool; a canonical-orientation [Tile_search] hit is answered
+      by splicing the stored tiling bytes straight from the mapped
+      segment into the reply ({!Protocol.Tiling_raw_r}) with zero
+      deserialization.
 
-    Tile replies carry a {!Protocol.source} marker - [memory], [store]
-    or [fresh] - naming the tier that settled them.
+    Tile replies carry a {!Protocol.source} marker - [memory], [corpus],
+    [store] or [fresh] - naming the tier that settled them.
 
     Searches can be bounded by a wall-clock [deadline] checked between
     search stages; an expired search answers [Deadline_exceeded] and is
@@ -51,6 +59,9 @@ val create :
   (* default {!Parallel.default} *)
   ?store:Store.t ->
   (* second cache tier; default none *)
+  ?corpus:Corpus.Snapshot.t ->
+  (* precomputed verdict snapshot, probed before every other tier;
+     default none *)
   unit ->
   t
 

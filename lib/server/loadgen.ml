@@ -160,7 +160,8 @@ let run_with ~send (config : config) =
           Netsim.Stats.record_delivery stats ~latency:lat_us;
           count_source resp;
           (match resp with
-          | Protocol.Slot_r _ | Protocol.Schedule_r _ | Protocol.Tiling_r _ -> incr ok
+          | Protocol.Slot_r _ | Protocol.Schedule_r _ | Protocol.Tiling_r _
+          | Protocol.Tiling_raw_r _ -> incr ok
           | Protocol.No_tiling _ -> incr no_tiling
           | Protocol.Deadline_exceeded -> incr deadline
           | _ -> incr errors))

@@ -20,9 +20,10 @@ type server_stats = {
   cache_evictions : int;
   cache_entries : int;
   store_hits : int;
+  corpus_hits : int;
 }
 
-type source = Memory | Store | Fresh
+type source = Memory | Corpus | Store | Fresh
 
 type response =
   | Slot_r of { slot : int; num_slots : int; source : source option }
@@ -32,6 +33,7 @@ type response =
       certificate : Core.Certificate.t;
       source : source option;
     }
+  | Tiling_raw_r of { tiling_fields : string; source : source option }
   | Stats_r of server_stats
   | No_tiling of source option
   | Overloaded
@@ -39,11 +41,15 @@ type response =
   | Shutting_down
   | Error_r of string
 
-let source_to_string = function Memory -> "memory" | Store -> "store" | Fresh -> "fresh"
+let source_to_string = function
+  | Memory -> "memory"
+  | Corpus -> "corpus"
+  | Store -> "store"
+  | Fresh -> "fresh"
 
 let source_of_response = function
   | Slot_r { source; _ } | Schedule_r { source; _ } | Tiling_r { source; _ }
-  | No_tiling source ->
+  | Tiling_raw_r { source; _ } | No_tiling source ->
     source
   | Stats_r _ | Overloaded | Deadline_exceeded | Shutting_down | Error_r _ -> None
 
@@ -115,7 +121,8 @@ let stats_fields s =
     ("cache_hits", string_of_int s.cache_hits); ("cache_misses", string_of_int s.cache_misses);
     ("cache_evictions", string_of_int s.cache_evictions);
     ("cache_entries", string_of_int s.cache_entries);
-    ("store_hits", string_of_int s.store_hits) ]
+    ("store_hits", string_of_int s.store_hits);
+    ("corpus_hits", string_of_int s.corpus_hits) ]
 
 let int_field kvs k =
   let* s = Codec.field kvs k in
@@ -140,9 +147,10 @@ let stats_of kvs =
   let* cache_evictions = int_field kvs "cache_evictions" in
   let* cache_entries = int_field kvs "cache_entries" in
   let* store_hits = int_field_default kvs "store_hits" ~default:0 in
+  let* corpus_hits = int_field_default kvs "corpus_hits" ~default:0 in
   Ok
     { served; overloaded; errors; searches; coalesced; timeouts; cache_hits; cache_misses;
-      cache_evictions; cache_entries; store_hits }
+      cache_evictions; cache_entries; store_hits; corpus_hits }
 
 (* The [src] marker is optional in both directions: absent on lines from
    servers predating it, omitted when the engine has nothing to say. *)
@@ -154,6 +162,7 @@ let source_of kvs =
   match List.assoc_opt "src" kvs with
   | None -> Ok None
   | Some "memory" -> Ok (Some Memory)
+  | Some "corpus" -> Ok (Some Corpus)
   | Some "store" -> Ok (Some Store)
   | Some "fresh" -> Ok (Some Fresh)
   | Some s -> Error ("unknown reply source: " ^ s)
@@ -183,29 +192,39 @@ let tiling_of kvs =
   Codec.tiling_of_string (Codec.encode_record ~kind:"tiling" kvs)
 
 let response_to_string ?id resp =
-  let fields =
-    match resp with
-    | Slot_r { slot; num_slots; source } ->
-      [ ("status", "ok"); ("op", "slot"); ("slot", string_of_int slot);
-        ("m", string_of_int num_slots) ]
-      @ source_fields source
-    | Schedule_r { schedule; source } ->
-      (("status", "ok") :: ("op", "schedule") :: schedule_fields schedule)
-      @ source_fields source
-    | Tiling_r { tiling; certificate = _; source } ->
-      (* The certificate is derivable from the tiling (Certificate.build);
-         shipping only the tiling keeps the line minimal and forces the
-         receiving side to revalidate. *)
-      (("status", "ok") :: ("op", "tile-search") :: tiling_fields tiling)
-      @ source_fields source
-    | Stats_r s -> (("status", "ok") :: ("op", "stats") :: stats_fields s)
-    | No_tiling source -> ("status", "no-tiling") :: source_fields source
-    | Overloaded -> [ ("status", "overloaded") ]
-    | Deadline_exceeded -> [ ("status", "deadline") ]
-    | Shutting_down -> [ ("status", "shutting-down") ]
-    | Error_r msg -> [ ("status", "error"); ("msg", sanitize msg) ]
-  in
-  Codec.encode_record ~kind:"response" (id_fields id @ fields)
+  let encode fields = Codec.encode_record ~kind:"response" (id_fields id @ fields) in
+  match resp with
+  | Slot_r { slot; num_slots; source } ->
+    encode
+      ([ ("status", "ok"); ("op", "slot"); ("slot", string_of_int slot);
+         ("m", string_of_int num_slots) ]
+      @ source_fields source)
+  | Schedule_r { schedule; source } ->
+    encode
+      ((("status", "ok") :: ("op", "schedule") :: schedule_fields schedule)
+      @ source_fields source)
+  | Tiling_r { tiling; certificate = _; source } ->
+    (* The certificate is derivable from the tiling (Certificate.build);
+       shipping only the tiling keeps the line minimal and forces the
+       receiving side to revalidate. *)
+    encode
+      ((("status", "ok") :: ("op", "tile-search") :: tiling_fields tiling)
+      @ source_fields source)
+  | Tiling_raw_r { tiling_fields; source } ->
+    (* The corpus splice path: [tiling_fields] is the already-encoded
+       ['|']-separated field fragment of a stored tiling line, appended
+       verbatim - the record grammar is flat, so field concatenation is
+       string concatenation.  Decoders cannot tell this line from a
+       [Tiling_r] one (and [response_of_string] yields [Tiling_r]). *)
+    String.concat "|"
+      ((encode [ ("status", "ok"); ("op", "tile-search") ] :: [ tiling_fields ])
+      @ List.map (fun (k, v) -> k ^ "=" ^ v) (source_fields source))
+  | Stats_r s -> encode (("status", "ok") :: ("op", "stats") :: stats_fields s)
+  | No_tiling source -> encode (("status", "no-tiling") :: source_fields source)
+  | Overloaded -> encode [ ("status", "overloaded") ]
+  | Deadline_exceeded -> encode [ ("status", "deadline") ]
+  | Shutting_down -> encode [ ("status", "shutting-down") ]
+  | Error_r msg -> encode [ ("status", "error"); ("msg", sanitize msg) ]
 
 let response_of_string s =
   let* kvs = Codec.decode_record ~kind:"response" s in
@@ -248,6 +267,6 @@ let response_of_string s =
 let pp_server_stats fmt s =
   Format.fprintf fmt
     "served=%d overloaded=%d errors=%d searches=%d coalesced=%d timeouts=%d cache: \
-     hits=%d misses=%d evictions=%d entries=%d store_hits=%d"
+     hits=%d misses=%d evictions=%d entries=%d store_hits=%d corpus_hits=%d"
     s.served s.overloaded s.errors s.searches s.coalesced s.timeouts s.cache_hits
-    s.cache_misses s.cache_evictions s.cache_entries s.store_hits
+    s.cache_misses s.cache_evictions s.cache_entries s.store_hits s.corpus_hits

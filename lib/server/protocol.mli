@@ -34,6 +34,7 @@ type server_stats = {
   cache_evictions : int;
   cache_entries : int;
   store_hits : int;  (** memory misses answered by the persistent store *)
+  corpus_hits : int;  (** requests answered by the mmap corpus snapshot *)
 }
 
 (** Which amortization tier settled a tile reply - the observability
@@ -43,6 +44,7 @@ type server_stats = {
     optional in both directions, so old-format lines still round-trip. *)
 type source =
   | Memory  (** in-process LRU hit *)
+  | Corpus  (** mmap-backed precomputed corpus hit *)
   | Store  (** persistent certificate store hit *)
   | Fresh  (** a tiling search ran for this batch *)
 
@@ -54,6 +56,13 @@ type response =
       certificate : Core.Certificate.t;
       source : source option;
     }
+  | Tiling_raw_r of { tiling_fields : string; source : source option }
+      (** Encode-only fast path: [tiling_fields] is the ['|']-separated
+          field fragment of a stored tiling line, sliced from the corpus
+          snapshot and spliced verbatim into the response line - zero
+          deserialization between mmap and socket.  On the wire it is
+          indistinguishable from {!Tiling_r}, and {!response_of_string}
+          always decodes to {!Tiling_r}. *)
   | Stats_r of server_stats
   | No_tiling of source option
       (** The search space is exhausted: no tiling, no schedule. *)
@@ -63,7 +72,8 @@ type response =
   | Error_r of string
 
 val source_to_string : source -> string
-(** [memory], [store] or [fresh] - the wire values of the [src] field. *)
+(** [memory], [corpus], [store] or [fresh] - the wire values of the
+    [src] field. *)
 
 val source_of_response : response -> source option
 (** The marker of a tile reply; [None] for control/refusal replies. *)

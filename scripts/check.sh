@@ -50,12 +50,61 @@ dune exec bin/tilesched.exe -- bench --skew --validate "$bench6_json"
 rm -f "$bench6_json"
 
 # And for BENCH_7.json, the EXP-L1 lifetime suite (static vs rotating
-# first-death slots, repair-solver timings).  The committed artifact is
-# schema-checked too, so a stale in-repo copy fails fast.
+# first-death slots, repair-solver timings).
 bench7_json=/tmp/tilesched-bench7-smoke.json
 dune exec bin/tilesched.exe -- bench --lifetime --json "$bench7_json" --quota 0.02 > /dev/null
 dune exec bin/tilesched.exe -- bench --lifetime --validate "$bench7_json"
 rm -f "$bench7_json"
-dune exec bin/tilesched.exe -- bench --lifetime --validate BENCH_7.json
+
+# And for BENCH_8.json, the EXP-CORPUS corpus suite (mmap snapshot vs
+# certificate store, warm and cold-start lookups).
+bench8_json=/tmp/tilesched-bench8-smoke.json
+dune exec bin/tilesched.exe -- bench --corpus --json "$bench8_json" --quota 0.02 > /dev/null
+dune exec bin/tilesched.exe -- bench --corpus --validate "$bench8_json"
+rm -f "$bench8_json"
+
+# Every committed BENCH_*.json must validate against its own suite's
+# schema, so a stale in-repo artifact fails fast.  The suffix picks the
+# suite; an artifact this map doesn't know is itself an error.
+for artifact in $(git ls-files 'BENCH_*.json'); do
+  case "$artifact" in
+    BENCH_5.json) flag="" ;;
+    BENCH_6.json) flag="--skew" ;;
+    BENCH_7.json) flag="--lifetime" ;;
+    BENCH_8.json) flag="--corpus" ;;
+    *)
+      echo "error: $artifact: no validation suite mapped for this artifact" >&2
+      exit 1
+      ;;
+  esac
+  # shellcheck disable=SC2086
+  dune exec bin/tilesched.exe -- bench $flag --validate "$artifact"
+done
+
+# Corpus pipeline smoke: a tiny campaign must build, report the exact
+# n<=5 class counts, and survive full offline verification (CRCs, index
+# reachability, certificate re-proofs).
+corpus_dir=/tmp/tilesched-corpus-smoke
+rm -rf "$corpus_dir"
+dune exec bin/tilesched.exe -- corpus build -d "$corpus_dir" -n 5 > /dev/null
+dune exec bin/tilesched.exe -- corpus stats -d "$corpus_dir" | grep -q 'total classes=21 exact=18 non-exact=3'
+dune exec bin/tilesched.exe -- corpus verify -d "$corpus_dir" | grep -q 'ok (21 records'
+rm -rf "$corpus_dir"
+
+# The committed BENCH_8.json must show the mmap snapshot beating the
+# replay-the-log store where it matters: cold start.  (Warm lookups are
+# a hashtable-vs-mmap-binary-search race the store can win; the
+# cold-start gap is the tier's reason to exist.)
+awk '
+  /corpus-mmap-coldstart-find/  { if (match($0, /"ns_per_call": [0-9.eE+-]+/)) mmap  = substr($0, RSTART + 15, RLENGTH - 15) }
+  /corpus-store-coldstart-find/ { if (match($0, /"ns_per_call": [0-9.eE+-]+/)) store = substr($0, RSTART + 15, RLENGTH - 15) }
+  END {
+    if (mmap == "" || store == "") { print "error: BENCH_8.json: missing cold-start rows" > "/dev/stderr"; exit 1 }
+    if (mmap + 0 > store + 0) {
+      printf "error: BENCH_8.json: mmap cold start (%s ns) slower than store (%s ns)\n", mmap, store > "/dev/stderr"
+      exit 1
+    }
+  }
+' BENCH_8.json
 
 echo "all checks passed"

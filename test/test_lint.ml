@@ -206,9 +206,13 @@ let test_r4_violation () =
       [
         ("lib/store/publish.ml", "let publish tmp path = Sys.rename tmp path\n");
         ("lib/store/publish.mli", "val publish : string -> string -> unit\n");
+        (* lib/corpus is in scope too: its manifest checkpoint uses the
+           same atomic-replace protocol. *)
+        ("lib/corpus/publish.ml", "let publish tmp path = Unix.rename tmp path\n");
+        ("lib/corpus/publish.mli", "val publish : string -> string -> unit\n");
       ]
   in
-  check_rule_count "rename without fsync" "R4" 1 report
+  check_rule_count "rename without fsync (store and corpus)" "R4" 2 report
 
 let test_r4_clean () =
   let report =
@@ -219,7 +223,13 @@ let test_r4_clean () =
           \  Unix.fsync (Unix.descr_of_out_channel oc);\n\
           \  Sys.rename tmp path\n" );
         ("lib/store/atomic.mli", "val publish : out_channel -> string -> string -> unit\n");
-        (* Outside lib/store the rule does not apply. *)
+        ( "lib/corpus/atomic.ml",
+          "let publish fd tmp path =\n\
+          \  Unix.fsync fd;\n\
+          \  Unix.close fd;\n\
+          \  Sys.rename tmp path\n" );
+        ("lib/corpus/atomic.mli", "val publish : Unix.file_descr -> string -> string -> unit\n");
+        (* Outside lib/store and lib/corpus the rule does not apply. *)
         ("lib/render/swap.ml", "let swap tmp path = Sys.rename tmp path\n");
         ("lib/render/swap.mli", "val swap : string -> string -> unit\n");
       ]
