@@ -781,8 +781,8 @@ let lint_cmd =
   let format_arg =
     Arg.(
       value
-      & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
-      & info [ "f"; "format" ] ~docv:"FMT" ~doc:"Report format: human or json.")
+      & opt (enum [ ("human", `Human); ("json", `Json); ("sarif", `Sarif) ]) `Human
+      & info [ "f"; "format" ] ~docv:"FMT" ~doc:"Report format: human, json, or sarif.")
   in
   let baseline_arg =
     Arg.(
@@ -803,7 +803,15 @@ let lint_cmd =
   let rules_arg =
     Arg.(value & flag & info [ "rules" ] ~doc:"Print the rule book (ids, scopes, allowlists) and exit.")
   in
-  let run format baseline root rules =
+  let allow_stale_arg =
+    Arg.(
+      value & flag
+      & info [ "allow-stale" ]
+          ~doc:
+            "Do not fail when a baseline entry matches no current finding (B0). Use while \
+             burning a baseline down incrementally.")
+  in
+  let run format baseline allow_stale root rules =
     if rules then begin
       print_endline (Lint.Rules.describe ());
       Ok ()
@@ -817,20 +825,24 @@ let lint_cmd =
           Result.map_error (fun msg -> `Msg ("cannot load baseline: " ^ msg))
             (Lint.Baseline.load path)
       in
-      let report = Lint.run ~baseline ~root () in
+      let report = Lint.run ~baseline ~allow_stale ~root () in
       print_string
         (match format with
         | `Human -> Lint.render_human report
-        | `Json -> Lint.render_json report);
+        | `Json -> Lint.render_json report
+        | `Sarif -> Lint.render_sarif report);
       if report.Lint.findings = [] then Ok () else Stdlib.exit 1
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
-         "Statically check the source tree against the project invariants: determinism (R1), \
-          forbidden constructs (R2), Parallel task purity (R3), fsync-before-rename (R4), and \
-          interface coverage (R5). Exits 1 if any finding survives the baseline.")
-    Term.(term_result (const run $ format_arg $ baseline_arg $ root_arg $ rules_arg))
+         "Statically check the source tree against the project invariants: syntactic rules \
+          R1-R5 plus the typedtree dataflow layer - interprocedural determinism taint (R1'), \
+          lock discipline (R6), and resource lifetime (R7). Unused allowlist entries (A0) and \
+          stale baseline entries (B0) are findings too. Exits 1 if any finding survives the \
+          baseline.")
+    Term.(
+      term_result (const run $ format_arg $ baseline_arg $ allow_stale_arg $ root_arg $ rules_arg))
 
 (* ---------- lifetime ---------- *)
 

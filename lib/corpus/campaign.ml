@@ -84,9 +84,11 @@ let read_file path = In_channel.with_open_bin path In_channel.input_all
 let write_file_atomic path contents =
   let tmp = path ^ ".tmp" in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  write_all fd contents;
-  Unix.fsync fd;
-  Unix.close fd;
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      write_all fd contents;
+      Unix.fsync fd);
   Sys.rename tmp path
 
 let seg_path dir s = Filename.concat dir (Layout.segment_name s)
@@ -166,32 +168,36 @@ let repair_segments dir m =
 let append_band dir m ~pool ~progress ~n tiles =
   let shards = m.Layout.shards in
   let verdicts = Parallel.map pool (fun tile -> (Store.key_of_prototile tile, decide tile)) tiles in
+  let lens = Layout.shard_lengths m in
+  let exact = ref 0 and non_exact = ref 0 in
+  let total = List.length verdicts in
   let fds =
     Array.init shards (fun s ->
         Unix.openfile (seg_path dir s) [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644)
   in
-  let lens = Layout.shard_lengths m in
-  let exact = ref 0 and non_exact = ref 0 in
-  let total = List.length verdicts in
-  List.iteri
-    (fun i (key, verdict) ->
-      let tag =
-        match verdict with
-        | Non_exact ->
-          incr non_exact;
-          Layout.tag_non_exact
-        | Exact _ ->
-          incr exact;
-          Layout.tag_exact
-      in
-      let record = Layout.encode_record ~band:n ~tag ~key ~payload:(payload_of_verdict verdict) in
-      let s = Layout.shard_of_key ~shards key in
-      write_all fds.(s) record;
-      lens.(s) <- lens.(s) + String.length record;
-      progress ~n ~done_:(i + 1) ~total)
-    verdicts;
-  Array.iter Unix.fsync fds;
-  Array.iter Unix.close fds;
+  Fun.protect
+    ~finally:(fun () -> Array.iter Unix.close fds)
+    (fun () ->
+      List.iteri
+        (fun i (key, verdict) ->
+          let tag =
+            match verdict with
+            | Non_exact ->
+              incr non_exact;
+              Layout.tag_non_exact
+            | Exact _ ->
+              incr exact;
+              Layout.tag_exact
+          in
+          let record =
+            Layout.encode_record ~band:n ~tag ~key ~payload:(payload_of_verdict verdict)
+          in
+          let s = Layout.shard_of_key ~shards key in
+          write_all fds.(s) record;
+          lens.(s) <- lens.(s) + String.length record;
+          progress ~n ~done_:(i + 1) ~total)
+        verdicts;
+      Array.iter Unix.fsync fds);
   let band =
     { Layout.n; classes = total; exact = !exact; non_exact = !non_exact; lens }
   in

@@ -21,17 +21,32 @@ let ident_path lid =
 let head_ident e =
   match e.pexp_desc with Pexp_ident { txt; _ } -> Some (ident_path txt) | _ -> None
 
-type ctx = { file : string; mutable findings : Finding.t list }
+type ctx = {
+  file : string;
+  mutable findings : Finding.t list;
+  mutable allow_uses : (string * string) list;  (** (rule, allow prefix) that suppressed *)
+}
 
+(* Applicability-aware reporting: an allowlisted file swallows the
+   finding but records which entry earned its keep, so the driver can
+   flag entries that suppress nothing (A0). *)
 let report ctx ~rule ~loc fmt =
   Printf.ksprintf
     (fun message ->
-      ctx.findings <-
-        Finding.make ~rule ~severity:Finding.Error ~file:ctx.file ~loc message :: ctx.findings)
+      match Rules.find rule with
+      | None -> ()
+      | Some meta -> (
+        match Rules.applicability meta ctx.file with
+        | Rules.Applies ->
+          ctx.findings <-
+            Finding.make ~rule ~severity:Finding.Error ~file:ctx.file ~loc message
+            :: ctx.findings
+        | Rules.Allowlisted prefix -> ctx.allow_uses <- (rule, prefix) :: ctx.allow_uses
+        | Rules.Out_of_scope -> ()))
     fmt
 
-let rule_applies id file =
-  match Rules.find id with Some meta -> Rules.applies meta file | None -> false
+let rule_in_scope id file =
+  match Rules.find id with Some meta -> Rules.in_scope meta file | None -> false
 
 (* ---------- pattern variables (for the R3 scope analysis) ---------- *)
 
@@ -173,29 +188,29 @@ let sorting_head = function
 
 let check_ident ctx ~in_sort ~loc path =
   (match path with
-  | [ "Random"; "self_init" ] when rule_applies "R1" ctx.file ->
+  | [ "Random"; "self_init" ] ->
     report ctx ~rule:"R1" ~loc
       "Random.self_init seeds from the environment; use an explicit Prng seed so runs are \
        reproducible"
-  | [ "Sys"; "time" ] when rule_applies "R1" ctx.file ->
+  | [ "Sys"; "time" ] ->
     report ctx ~rule:"R1" ~loc
       "Sys.time reads the process clock; deterministic code must not branch on wall-clock"
-  | [ "Unix"; "gettimeofday" ] when rule_applies "R1" ctx.file ->
+  | [ "Unix"; "gettimeofday" ] ->
     report ctx ~rule:"R1" ~loc
       "Unix.gettimeofday reads wall-clock; deterministic code must not branch on it"
-  | [ "Hashtbl"; (("iter" | "fold") as fn) ] when rule_applies "R1" ctx.file && not in_sort ->
+  | [ "Hashtbl"; (("iter" | "fold") as fn) ] when not in_sort ->
     report ctx ~rule:"R1" ~loc
       "Hashtbl.%s visits bindings in unspecified order; sort the bindings (wrap the fold in \
        List.sort) before they feed fan-out or serialized output"
       fn
   | _ -> ());
   match path with
-  | [ "Obj"; "magic" ] when rule_applies "R2" ctx.file ->
+  | [ "Obj"; "magic" ] ->
     report ctx ~rule:"R2" ~loc "Obj.magic is forbidden: it defeats the type system"
-  | "Marshal" :: _ when rule_applies "R2" ctx.file ->
+  | "Marshal" :: _ ->
     report ctx ~rule:"R2" ~loc
       "Marshal is forbidden: wire data must go through the validating Codec layer"
-  | [ "exit" ] when rule_applies "R2" ctx.file && not (Rules.prefixed "bin/" ctx.file) ->
+  | [ "exit" ] when not (Rules.prefixed "bin/" ctx.file) ->
     report ctx ~rule:"R2" ~loc "exit outside bin/: libraries must return, not terminate"
   | _ -> ()
 
@@ -204,7 +219,7 @@ let check_ident ctx ~in_sort ~loc path =
 (* Collect rename/fsync call sites in source order inside one top-level
    binding; every rename must see an fsync earlier in the same body. *)
 let check_fsync_order ctx vb =
-  if rule_applies "R4" ctx.file then begin
+  if rule_in_scope "R4" ctx.file then begin
     let events = ref [] in
     let it =
       {
@@ -238,7 +253,7 @@ let check_fsync_order ctx vb =
 (* ---------- the per-file walk ---------- *)
 
 let check_structure ~file structure =
-  let ctx = { file; findings = [] } in
+  let ctx = { file; findings = []; allow_uses = [] } in
   let in_sort = ref false in
   let it =
     {
@@ -250,9 +265,9 @@ let check_structure ~file structure =
           | Pexp_apply (f, args) -> (
             match head_ident f with
             | Some [ "Parallel"; fn ] when List.mem fn fanout_functions ->
-              if rule_applies "R3" ctx.file then check_fanout_application ctx args
+              if rule_in_scope "R3" ctx.file then check_fanout_application ctx args
             | Some path when steal_functions path ->
-              if rule_applies "R3" ctx.file then check_steal_application ctx args
+              if rule_in_scope "R3" ctx.file then check_steal_application ctx args
             | _ -> ())
           | _ -> ());
           match e.pexp_desc with
@@ -276,4 +291,4 @@ let check_structure ~file structure =
     }
   in
   List.iter (fun item -> it.structure_item it item) structure;
-  List.rev ctx.findings
+  (List.rev ctx.findings, List.sort_uniq compare ctx.allow_uses)

@@ -1,8 +1,14 @@
-(** Parsetree checks for rules R1 (determinism), R2 (forbidden
-    constructs), R3 (task purity), and R4 (fsync-before-rename).  R5 is
-    a file-system property and lives in {!Driver}. *)
+(** Parsetree checks for rules R1 (determinism, direct construct uses),
+    R2 (forbidden constructs), R3 (task purity), and R4
+    (fsync-before-rename).  R5 is a file-system property and lives in
+    {!Driver}; the interprocedural/flow-sensitive layers (R1 taint, R6,
+    R7) live in {!Dataflow}. *)
 
-val check_structure : file:string -> Parsetree.structure -> Finding.t list
+val check_structure :
+  file:string -> Parsetree.structure -> Finding.t list * (string * string) list
 (** Run every applicable syntactic rule over one parsed implementation.
     [file] is the root-relative path used for scoping, allowlists, and
-    diagnostics.  Findings come back in source order. *)
+    diagnostics.  Findings come back in source order, together with the
+    (rule, allow prefix) pairs whose allowlist entries suppressed a
+    would-be finding (consumed by the driver's A0 unused-allowlist
+    check). *)

@@ -1,0 +1,28 @@
+(** The semantic analyses over typedtrees.
+
+    - R1' interprocedural determinism taint: seed at
+      [Unix.gettimeofday] / [Sys.time] / [Random.self_init] / unordered
+      [Hashtbl.iter]/[fold] (with the sorted-fold exemption), propagate
+      caller-ward over the {!Callgraph}, report each transitively
+      tainted definition at its tainted call site.  Seeds inside
+      allowlisted files never start taint (the allowlist suppresses by
+      root cause); directly-seeded definitions are left to the
+      syntactic check.
+    - R6 lock discipline ([lib/parallel/]): every [Mutex.lock] released
+      on all paths including raises, no double lock, no blocking call
+      or raise while a deque/pool mutex is held; [Fun.protect]
+      finalizers and [assert false] dead ends are understood.
+    - R7 resource lifetime ([lib/]): every let-bound
+      [Unix.openfile] / [open_in*] / [open_out*] /
+      [In_channel.open_*] / [Out_channel.open_*] (and the
+      fd-per-shard [Array.init] aggregate) reaches a close on every
+      path; a call that can raise while a resource is open and
+      unprotected is a leak.  Escaping resources (returned or stored)
+      leave the analysis silently. *)
+
+type report = {
+  findings : Finding.t list;
+  allow_uses : (string * string) list;  (** (rule id, allow prefix) that suppressed *)
+}
+
+val analyze : Typed_load.typed_file list -> report

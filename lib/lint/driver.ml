@@ -1,6 +1,7 @@
 type report = {
   findings : Finding.t list;
   files_scanned : int;
+  files_typed : int;
   suppressed : int;
 }
 
@@ -73,24 +74,95 @@ let r5_findings files =
         else None)
       files
 
+(* ---------- A0: unused allowlist entries ---------- *)
+
+(* Every allowlist entry in the rule book must still earn its keep: an
+   entry that suppressed nothing anywhere in this scan is itself a
+   finding, so the book cannot accumulate stale exemptions.  Entries
+   whose prefix matches no scanned file are out of this scan's
+   jurisdiction (fixture trees don't contain the real tree's
+   allowlisted modules) and are left alone. *)
+let a0_findings ~used ~files =
+  List.concat_map
+    (fun (meta : Rules.meta) ->
+      List.filter_map
+        (fun (prefix, why) ->
+          if
+            List.mem (meta.Rules.id, prefix) used
+            || not (List.exists (Rules.prefixed prefix) files)
+          then None
+          else
+            Some
+              (Finding.make ~rule:"A0" ~severity:Finding.Error ~file:prefix ~loc:Location.none
+                 (Printf.sprintf
+                    "unused allowlist entry: rule %s never needed the exemption under %s \
+                     (%s); delete the entry from the rule book"
+                    meta.Rules.id prefix why)))
+        meta.Rules.allow)
+    Rules.all
+
+(* ---------- B0: stale baseline entries ---------- *)
+
+(* A baseline entry that matches no current raw finding is grandfather
+   debt that has been paid off; it must be deleted (or the run invoked
+   with --allow-stale while a transition is in flight). *)
+let b0_findings ~baseline ~raw =
+  List.filter_map
+    (fun (e : Baseline.entry) ->
+      if
+        List.exists
+          (fun (f : Finding.t) ->
+            e.Baseline.rule = f.Finding.rule
+            && e.Baseline.file = f.Finding.file
+            && e.Baseline.message = f.Finding.message)
+          raw
+      then None
+      else
+        Some
+          (Finding.make ~rule:"B0" ~severity:Finding.Error ~file:e.Baseline.file
+             ~loc:Location.none
+             (Printf.sprintf
+                "stale baseline entry: no current %s finding matches %S; delete the line (or \
+                 pass --allow-stale during a transition)"
+                e.Baseline.rule e.Baseline.message)))
+    baseline
+
 (* ---------- entry point ---------- *)
 
-let run ?(baseline = Baseline.empty) ~root () =
+let run ?(baseline = Baseline.empty) ?(allow_stale = false) ~root () =
   let files = source_files root in
   let ml_files = List.filter (has_suffix ".ml") files in
-  let raw =
+  let allow_uses = ref [] in
+  (* Syntactic layer: every scanned file, graceful on parse failure. *)
+  let syntactic =
     List.concat_map
       (fun file ->
         match parse_implementation ~root ~file with
-        | structure -> Checks.check_structure ~file structure
+        | structure ->
+          let findings, uses = Checks.check_structure ~file structure in
+          allow_uses := uses @ !allow_uses;
+          findings
         | exception exn -> [ syntax_finding ~file exn ])
       ml_files
-    @ r5_findings files
+  in
+  (* Typed layer: library sources only.  Files without a typedtree (no
+     cmt and in-process typing failed) silently degrade to the
+     syntactic checks above. *)
+  let lib_ml = List.filter (Rules.prefixed "lib/") ml_files in
+  let loaded = Typed_load.load ~root ~files:lib_ml in
+  let semantic = Dataflow.analyze loaded.Typed_load.typed in
+  allow_uses := semantic.Dataflow.allow_uses @ !allow_uses;
+  let used = List.sort_uniq compare !allow_uses in
+  let raw =
+    syntactic @ semantic.Dataflow.findings @ r5_findings files
+    @ a0_findings ~used ~files:ml_files
   in
   let keep, dropped = List.partition (fun f -> not (Baseline.mem baseline f)) raw in
+  let keep = if allow_stale then keep else keep @ b0_findings ~baseline ~raw in
   {
     findings = List.sort Finding.compare keep;
     files_scanned = List.length ml_files;
+    files_typed = List.length loaded.Typed_load.typed;
     suppressed = List.length dropped;
   }
 
@@ -104,8 +176,9 @@ let render_human r =
       Buffer.add_char b '\n')
     r.findings;
   Buffer.add_string b
-    (Printf.sprintf "lint: %d file%s scanned, %d finding%s%s\n" r.files_scanned
+    (Printf.sprintf "lint: %d file%s scanned (%d typed), %d finding%s%s\n" r.files_scanned
        (if r.files_scanned = 1 then "" else "s")
+       r.files_typed
        (List.length r.findings)
        (if List.length r.findings = 1 then "" else "s")
        (if r.suppressed > 0 then Printf.sprintf " (%d suppressed by baseline)" r.suppressed
@@ -121,5 +194,48 @@ let render_json r =
       Buffer.add_string b (Finding.to_json f))
     r.findings;
   Buffer.add_string b
-    (Printf.sprintf "],\"files_scanned\":%d,\"suppressed\":%d}\n" r.files_scanned r.suppressed);
+    (Printf.sprintf "],\"files_scanned\":%d,\"files_typed\":%d,\"suppressed\":%d}\n"
+       r.files_scanned r.files_typed r.suppressed);
+  Buffer.contents b
+
+(* Minimal SARIF 2.1.0: one run, the rule book as reportingDescriptors,
+   one result per finding.  startColumn is 1-based where Finding.col is
+   0-based. *)
+let render_sarif r =
+  let b = Buffer.create 1024 in
+  let esc = Finding.json_escape in
+  Buffer.add_string b
+    "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"2.1.0\",";
+  Buffer.add_string b "\"runs\":[{\"tool\":{\"driver\":{\"name\":\"tilesched-lint\",\"rules\":[";
+  let pseudo =
+    [
+      ("P0", "parse failure", "the file does not parse with the stock OCaml grammar");
+      ("A0", "unused allowlist entry", "an allowlist entry suppressed nothing in this scan");
+      ("B0", "stale baseline entry", "a baseline entry matches no current finding");
+    ]
+  in
+  let descriptors =
+    List.map (fun (m : Rules.meta) -> (m.Rules.id, m.Rules.title, m.Rules.rationale)) Rules.all
+    @ pseudo
+  in
+  List.iteri
+    (fun i (id, title, rationale) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"id\":\"%s\",\"shortDescription\":{\"text\":\"%s\"},\"fullDescription\":{\"text\":\"%s\"}}"
+           (esc id) (esc title) (esc rationale)))
+    descriptors;
+  Buffer.add_string b "]}},\"results\":[";
+  List.iteri
+    (fun i (f : Finding.t) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"ruleId\":\"%s\",\"level\":\"%s\",\"message\":{\"text\":\"%s\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\"%s\"},\"region\":{\"startLine\":%d,\"startColumn\":%d}}}]}"
+           (esc f.Finding.rule)
+           (Finding.severity_to_string f.Finding.severity)
+           (esc f.Finding.message) (esc f.Finding.file) f.Finding.line (f.Finding.col + 1)))
+    r.findings;
+  Buffer.add_string b "]}]}\n";
   Buffer.contents b

@@ -1,10 +1,18 @@
-(** The analyzer's entry point: walk a source tree, parse every [.ml]
-    with the stock compiler-libs grammar, run the rule book
-    ({!Rules.all}) over each file, and render the findings. *)
+(** The analyzer's entry point: walk a source tree, run the syntactic
+    checks over every [.ml] (stock compiler-libs grammar), acquire
+    typedtrees for the library sources ({!Typed_load}) and run the
+    semantic analyses ({!Dataflow}), then render the findings.
+
+    Pseudo-rules produced here rather than by the rule book:
+    - [P0]: a file that does not parse (the scan continues);
+    - [A0]: an allowlist entry that suppressed nothing in this scan;
+    - [B0]: a baseline entry matching no current finding (suppressed by
+      [~allow_stale:true] during transitions). *)
 
 type report = {
   findings : Finding.t list;  (** sorted by file, line, column *)
   files_scanned : int;
+  files_typed : int;  (** library sources with a typedtree (cmt or in-process) *)
   suppressed : int;  (** findings swallowed by the baseline *)
 }
 
@@ -16,9 +24,12 @@ val source_files : string -> string list
 (** Every file under the scanned roots (root-relative paths, ['/']
     separated), skipping build/VCS directories.  Deterministic order. *)
 
-val run : ?baseline:Baseline.t -> root:string -> unit -> report
+val run : ?baseline:Baseline.t -> ?allow_stale:bool -> root:string -> unit -> report
 (** Scan the tree rooted at [root].  A file that fails to parse yields a
-    single [P0] finding rather than aborting the scan. *)
+    single [P0] finding rather than aborting the scan; a library file
+    with no typedtree is covered by the syntactic checks only.
+    [allow_stale] (default [false]) suppresses [B0] findings for stale
+    baseline entries. *)
 
 val render_human : report -> string
 (** One [file:line:col: severity[RULE]: message] line per finding plus a
@@ -26,3 +37,7 @@ val render_human : report -> string
 
 val render_json : report -> string
 (** The whole report as one JSON object. *)
+
+val render_sarif : report -> string
+(** The whole report as a SARIF 2.1.0 log (one run, the rule book as
+    reportingDescriptors). *)

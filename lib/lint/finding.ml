@@ -40,8 +40,10 @@ let to_human f =
     f.message
 
 (* Minimal JSON string escaping: the fields we emit are paths, rule ids
-   and diagnostic prose, but backslashes and quotes can appear in
-   messages that cite source syntax. *)
+   and diagnostic prose, but backslashes, quotes and control characters
+   can appear in messages that cite source syntax.  Bytes >= 0x80 pass
+   through untouched: the input is UTF-8 and JSON strings carry UTF-8
+   verbatim. *)
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
   String.iter
@@ -51,6 +53,9 @@ let json_escape s =
       | '\\' -> Buffer.add_string b "\\\\"
       | '\n' -> Buffer.add_string b "\\n"
       | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
       | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char b c)
     s;

@@ -24,5 +24,10 @@ val to_human : t -> string
 (** [file:line:col: severity[RULE]: message] - one line, clickable in
     editors. *)
 
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON (or SARIF) string literal:
+    quote, backslash and all control characters get escapes; bytes
+    above 0x7f pass through (UTF-8 in, UTF-8 out). *)
+
 val to_json : t -> string
 (** One JSON object (no trailing newline). *)

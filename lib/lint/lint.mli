@@ -1,29 +1,53 @@
 (** Project-invariant static analyzer.
 
-    Parses every [.ml] under [lib/], [bin/], and [test/] with the stock
-    compiler-libs parser (no external dependencies) and walks the
-    Parsetree enforcing the project rule book:
+    Two layers, no external dependencies beyond compiler-libs:
 
-    - {b R1 determinism} - no wall-clock ([Sys.time],
+    {b Syntactic} - parses every [.ml] under [lib/], [bin/], and
+    [test/] with the stock grammar and walks the Parsetree:
+
+    - {b R1 determinism (direct)} - no wall-clock ([Sys.time],
       [Unix.gettimeofday]), no [Random.self_init], no unordered
       [Hashtbl.iter]/[Hashtbl.fold] in library code (allowlisted where
-      wall-clock is the point: the simulator and the load generator).
+      wall-clock is the point: the search deadline and the load
+      generator).
     - {b R2 forbidden constructs} - [Obj.magic] and [Marshal] anywhere,
       [exit] outside [bin/].
     - {b R3 task purity} - no mutation of captured state inside closures
       submitted to the [Parallel] fan-out entry points.
-    - {b R4 crash safety} - in [lib/store], every rename is preceded by
-      an [Unix.fsync] in the same function body.
+    - {b R4 crash safety} - in [lib/store] and [lib/corpus], every
+      rename is preceded by an [Unix.fsync] in the same function body.
     - {b R5 interface coverage} - every [lib/**/*.ml] has a matching
       [.mli].
 
-    Scoping, allowlists (with justifications), and the baseline
-    mechanism are described in DESIGN.md paragraph 10. *)
+    {b Semantic} - acquires typedtrees for library sources (dune [.cmt]
+    artifacts when built, in-process [Typemod] typing otherwise; see
+    {!Typed_load}) and runs the flow analyses of {!Dataflow} over
+    resolved [Path.t]s:
+
+    - {b R1' determinism (interprocedural)} - taint seeded at the R1
+      constructs propagates over the intra-library call graph
+      ({!Callgraph}); reaching a seed through any chain of helpers is a
+      finding at the call site.  Allowlist entries suppress by root
+      cause.
+    - {b R6 lock discipline} - in [lib/parallel], every [Mutex.lock] is
+      released on all paths including raises, no double lock, no
+      blocking call while a deque/pool mutex is held.
+    - {b R7 resource lifetime} - in [lib/], every let-bound open
+      reaches a close on every path; raising while a descriptor is open
+      and unprotected is a leak.
+
+    Unused allowlist entries are reported as [A0], stale baseline
+    entries as [B0].  Scoping, allowlists (with justifications), and
+    the baseline mechanism are described in DESIGN.md paragraphs 10 and
+    15. *)
 
 module Finding = Finding
 module Rules = Rules
 module Checks = Checks
 module Baseline = Baseline
+module Typed_load = Typed_load
+module Callgraph = Callgraph
+module Dataflow = Dataflow
 module Driver = Driver
 
 include module type of struct

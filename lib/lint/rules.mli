@@ -7,7 +7,7 @@ type scope =
   | Under of string list  (** only files under these path prefixes *)
 
 type meta = {
-  id : string;  (** stable id cited in diagnostics and baselines (["R1"]..["R5"]) *)
+  id : string;  (** stable id cited in diagnostics and baselines (["R1"]..["R7"]) *)
   title : string;
   rationale : string;
   scope : scope;
@@ -29,6 +29,15 @@ val allowed : meta -> string -> string option
 
 val applies : meta -> string -> bool
 (** [in_scope] and not [allowed]. *)
+
+type applicability =
+  | Applies  (** in scope, no allowlist entry covers the path *)
+  | Allowlisted of string
+      (** suppressed by the allowlist entry with this prefix; callers
+          must record the use so unused entries can be reported (A0) *)
+  | Out_of_scope
+
+val applicability : meta -> string -> applicability
 
 val describe : unit -> string
 (** Human-readable rule book (for [lint --rules]). *)

@@ -1,0 +1,174 @@
+(* Getting typedtrees for the scanned sources.
+
+   Two roads lead to a [Typedtree.structure]:
+
+   - [.cmt] files.  Dune compiles everything with [-bin-annot], so a
+     built tree carries a cmt per module under [.<lib>.objs/byte/];
+     [Cmt_format.read_cmt] hands back the full typedtree plus the
+     root-relative source path it was compiled from.  This is the
+     production road: it sees exactly what the compiler saw, wrapped
+     library aliases and all.
+
+   - In-process typechecking.  Throwaway fixture trees (the test suite
+     builds them in temp dirs) have no build artifacts, so we drive
+     [Typemod.type_structure] ourselves against an initial environment
+     that can see the stdlib and the unix library.  Fixture files may
+     reference each other by module name: typing runs in passes, and
+     every successfully-typed module's signature is added to the
+     environment (as a plain module, not a persistent unit) so later
+     passes can resolve it.
+
+   A file that types through neither road is reported as [Untyped]; the
+   driver falls back to the purely syntactic checks for it, so the
+   analyzer degrades gracefully on trees that do not build. *)
+
+type typed_file = { file : string; structure : Typedtree.structure }
+
+type result = {
+  typed : typed_file list;  (** sorted by file path *)
+  untyped : string list;  (** scanned files with no typedtree *)
+}
+
+(* ---------- cmt discovery ---------- *)
+
+let is_dir path = Sys.file_exists path && Sys.is_directory path
+
+(* Collect every [*.cmt] under [.objs] directories below [root].  Dune
+   hides them in [lib/<x>/.<lib>.objs/byte/]; we walk only one level of
+   hidden obj dirs per library directory to keep the scan cheap. *)
+let cmt_files root =
+  let acc = ref [] in
+  let rec walk dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> ()
+    | entries ->
+      Array.sort String.compare entries;
+      Array.iter
+        (fun entry ->
+          let path = Filename.concat dir entry in
+          if is_dir path then
+            if Filename.check_suffix entry ".objs" then begin
+              let byte = Filename.concat path "byte" in
+              if is_dir byte then
+                match Sys.readdir byte with
+                | exception Sys_error _ -> ()
+                | files ->
+                  Array.sort String.compare files;
+                  Array.iter
+                    (fun f ->
+                      if Filename.check_suffix f ".cmt" then
+                        acc := Filename.concat byte f :: !acc)
+                    files
+            end
+            else if entry <> ".git" && entry <> "node_modules" then walk path)
+        entries
+  in
+  (* Look under the root itself (the case when root *is* a dune build
+     tree, e.g. _build/default during `dune runtest`) and under its
+     _build/default (the case when root is the workspace). *)
+  walk (Filename.concat root "lib");
+  let build = Filename.concat (Filename.concat root "_build") "default" in
+  if is_dir build then walk (Filename.concat build "lib");
+  List.rev !acc
+
+let load_cmt_map root =
+  List.fold_left
+    (fun map path ->
+      match Cmt_format.read_cmt path with
+      | exception _ -> map
+      | cmt -> (
+        match (cmt.Cmt_format.cmt_sourcefile, cmt.Cmt_format.cmt_annots) with
+        | Some src, Cmt_format.Implementation structure ->
+          (* [src] is relative to the compilation root, which for dune
+             is the build context dir - i.e. exactly our root-relative
+             source path. *)
+          if List.mem_assoc src map then map else (src, structure) :: map
+        | _ -> map)
+      )
+    [] (cmt_files root)
+
+(* ---------- in-process typechecking ---------- *)
+
+let typing_initialized = ref false
+
+let init_typing () =
+  if not !typing_initialized then begin
+    typing_initialized := true;
+    (* The fixtures may use Unix; point the load path at the compiler's
+       own unix library next to the stdlib. *)
+    let unix_dir = Filename.concat Config.standard_library "unix" in
+    Clflags.include_dirs := (if is_dir unix_dir then [ unix_dir ] else []);
+    (* The analyzer reports its own findings; compiler warnings about
+       fixture code are noise. *)
+    ignore (Warnings.parse_options false "-a");
+    Compmisc.init_path ()
+  end
+
+let parse_implementation ~root ~file =
+  let src = In_channel.with_open_bin (Filename.concat root file) In_channel.input_all in
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf file;
+  Parse.implementation lexbuf
+
+let module_name_of_file file =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename file))
+
+(* Type the given parsed files in passes: every success extends the
+   environment with the module's signature under its unit name, so
+   files referencing a sibling module type once the sibling has.  Files
+   still failing when a full pass makes no progress stay untyped. *)
+let type_in_process parsed =
+  init_typing ();
+  let env0 = Compmisc.initial_env () in
+  let typed = ref [] in
+  let pending = ref parsed in
+  let env = ref env0 in
+  let progress = ref true in
+  while !progress && !pending <> [] do
+    progress := false;
+    pending :=
+      List.filter
+        (fun (file, structure) ->
+          match Typemod.type_structure !env structure with
+          | exception _ -> true
+          | tstr, sg, _names, _shape, _env' ->
+            typed := { file; structure = tstr } :: !typed;
+            env :=
+              Env.add_module
+                (Ident.create_persistent (module_name_of_file file))
+                Types.Mp_present (Types.Mty_signature sg) !env;
+            progress := true;
+            false)
+        !pending
+  done;
+  (List.rev !typed, List.map fst !pending)
+
+(* ---------- entry point ---------- *)
+
+let load ~root ~files =
+  let cmts = load_cmt_map root in
+  let from_cmt, missing =
+    List.partition_map
+      (fun file ->
+        match List.assoc_opt file cmts with
+        | Some structure -> Left { file; structure }
+        | None -> Right file)
+      files
+  in
+  let from_typing, untyped =
+    let parsed =
+      List.filter_map
+        (fun file ->
+          match parse_implementation ~root ~file with
+          | structure -> Some (file, structure)
+          | exception _ -> None)
+        missing
+    in
+    let unparsed = List.filter (fun f -> not (List.mem_assoc f parsed)) missing in
+    let typed, failed = type_in_process parsed in
+    (typed, failed @ unparsed)
+  in
+  let typed =
+    List.sort (fun a b -> String.compare a.file b.file) (from_cmt @ from_typing)
+  in
+  { typed; untyped = List.sort String.compare untyped }

@@ -1,0 +1,24 @@
+(** Typedtree acquisition for the semantic analyses.
+
+    Prefers the [.cmt] files a dune build leaves under
+    [lib/<x>/.<lib>.objs/byte/] (read via [Cmt_format]); files without
+    one are parsed and typed in-process against an environment seeded
+    with the stdlib and unix, with successfully-typed fixture modules
+    added to the environment under their unit names so sibling fixtures
+    can reference them.  Files that type through neither road come back
+    in [untyped] and are covered by the syntactic checks only. *)
+
+type typed_file = { file : string; structure : Typedtree.structure }
+
+type result = {
+  typed : typed_file list;  (** sorted by file path *)
+  untyped : string list;  (** scanned files with no typedtree *)
+}
+
+val load : root:string -> files:string list -> result
+(** [load ~root ~files] resolves a typedtree for each root-relative
+    [.ml] path in [files]. *)
+
+val module_name_of_file : string -> string
+(** ["lib/corpus/campaign.ml"] -> ["Campaign"]: the unit name used for
+    cross-module resolution. *)

@@ -45,7 +45,10 @@ let rec worker_loop pool my_gen =
   if pool.stop then Mutex.unlock pool.mutex
   else begin
     let gen = pool.generation in
-    let f = Option.get pool.task and n = pool.limit in
+    (* [task] is always set before workers are woken; matching instead of
+       [Option.get] keeps the mutex release unconditional. *)
+    let f = match pool.task with Some f -> f | None -> assert false in
+    let n = pool.limit in
     Mutex.unlock pool.mutex;
     drain pool f n;
     Mutex.lock pool.mutex;

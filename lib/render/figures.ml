@@ -198,8 +198,7 @@ let save_all ~dir figures =
   List.iter
     (fun f ->
       Svg.save f.svg (Filename.concat dir (f.name ^ ".svg"));
-      let oc = open_out (Filename.concat dir (f.name ^ ".txt")) in
-      output_string oc f.ascii;
-      output_char oc '\n';
-      close_out oc)
+      Out_channel.with_open_text (Filename.concat dir (f.name ^ ".txt")) (fun oc ->
+          output_string oc f.ascii;
+          output_char oc '\n'))
     figures

@@ -59,10 +59,7 @@ let to_string d =
      height=\"%.0f\">\n%s</svg>\n"
     d.width d.height (d.width *. 60.0) (d.height *. 60.0) (Buffer.contents d.body)
 
-let save d path =
-  let oc = open_out path in
-  output_string oc (to_string d);
-  close_out oc
+let save d path = Out_channel.with_open_text path (fun oc -> output_string oc (to_string d))
 
 let palette_table =
   [| "#4e79a7"; "#f28e2b"; "#e15759"; "#76b7b2"; "#59a14f"; "#edc948"; "#b07aa1"; "#ff9da7";

@@ -163,11 +163,15 @@ let compact t =
   t.out <- None;
   let tmp = t.path ^ ".compact" in
   let snap = open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 tmp in
-  output_string snap magic;
-  List.iter (fun (key, entry) -> output_frame snap (encode_payload key entry)) (live_sorted t.table);
-  flush snap;
-  (try Unix.fsync (Unix.descr_of_out_channel snap) with Unix.Unix_error _ -> ());
-  close_out snap;
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr snap)
+    (fun () ->
+      output_string snap magic;
+      List.iter
+        (fun (key, entry) -> output_frame snap (encode_payload key entry))
+        (live_sorted t.table);
+      flush snap;
+      try Unix.fsync (Unix.descr_of_out_channel snap) with Unix.Unix_error _ -> ());
   Sys.rename tmp t.path;
   t.out <- Some (append_channel t.path);
   t.frames <- Hashtbl.length t.table;
@@ -188,11 +192,11 @@ let open_ ?(auto_compact_ratio = 1.0) path =
   List.iter (fun (key, entry) -> Hashtbl.replace table key entry) records;
   (* Repair the file before the first append: cut the invalid tail, or
      rewrite the magic if even the header is gone. *)
-  if valid_len < magic_len then begin
-    let oc = open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 path in
-    output_string oc magic;
-    close_out oc
-  end
+  if valid_len < magic_len then
+    Out_channel.with_open_gen
+      [ Open_wronly; Open_trunc; Open_creat; Open_binary ]
+      0o644 path
+      (fun oc -> output_string oc magic)
   else if valid_len < String.length data then Unix.truncate path valid_len;
   let t =
     {

@@ -27,10 +27,41 @@ fi
 dune build @all
 dune runtest
 
-# Project-invariant static analysis (DESIGN.md section 10): determinism,
-# forbidden constructs, Parallel task purity, fsync-before-rename,
-# interface coverage.  Exits nonzero on any finding.
+# Project-invariant static analysis (DESIGN.md sections 10 and 15):
+# the syntactic rules (determinism, forbidden constructs, Parallel task
+# purity, fsync-before-rename, interface coverage) plus the typedtree
+# dataflow layer (interprocedural determinism taint, lock discipline,
+# resource lifetime).  Exits nonzero on any finding.
 dune exec bin/tilesched.exe -- lint
+
+# The SARIF emitter must stay schema-valid: emit the same scan as SARIF
+# and structurally check the 2.1.0 essentials (CI uploads this file as
+# an artifact).
+sarif_out=/tmp/tilesched-lint.sarif
+dune exec bin/tilesched.exe -- lint --format sarif > "$sarif_out"
+python3 - "$sarif_out" <<'PY'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+assert doc["version"] == "2.1.0", "version"
+assert doc["$schema"].endswith("sarif-2.1.0.json"), "schema ref"
+runs = doc["runs"]
+assert isinstance(runs, list) and runs, "runs"
+driver = runs[0]["tool"]["driver"]
+assert driver["name"] == "tilesched-lint", "driver name"
+rules = {r["id"] for r in driver["rules"]}
+for rid in ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "P0", "A0", "B0"]:
+    assert rid in rules, "missing rule descriptor " + rid
+for res in runs[0]["results"]:
+    assert res["ruleId"] in rules, "result ruleId not declared"
+    assert res["message"]["text"], "message text"
+    loc = res["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"], "artifact uri"
+    assert loc["region"]["startLine"] >= 1, "startLine"
+    assert loc["region"]["startColumn"] >= 1, "startColumn"
+print("sarif ok (%d results)" % len(runs[0]["results"]))
+PY
+rm -f "$sarif_out"
 
 # The BENCH_5.json pipeline must stay machine-readable end to end: a
 # tiny-quota run writes the artifact, the strict validator re-reads it
