@@ -481,7 +481,15 @@ let serve_cmd =
             "Sealed verdict corpus (built with 'tilesched corpus build'). Mapped read-only and \
              probed before every other tier; hits answer src=corpus without searching.")
   in
-  let run () socket cache queue deadline store_path corpus_path =
+  let idle_timeout =
+    Arg.(
+      value & opt float 0.0
+      & info [ "idle-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Socket mode: close connections with no inbound traffic for this long (0 = never, \
+             the default).")
+  in
+  let run () socket cache queue deadline store_path corpus_path idle_timeout =
     let ( let* ) = Result.bind in
     if cache < 1 then Error (`Msg "--cache must be at least 1")
     else if queue < 1 then Error (`Msg "--queue must be at least 1")
@@ -507,7 +515,7 @@ let serve_cmd =
       | None -> Server.Frontend.serve_stdio engine
       | Some path ->
         Printf.eprintf "tilesched serve: listening on %s\n%!" path;
-        Server.Frontend.serve_unix engine ~path);
+        Server.Frontend.serve_unix ~idle_timeout engine ~path);
       Option.iter
         (fun store ->
           let flushed = Server.flush_to_store engine in
@@ -527,7 +535,8 @@ let serve_cmd =
           served from an mmap snapshot without deserialization.")
     Term.(
       term_result
-        (const run $ jobs_term $ socket_arg $ cache $ queue $ deadline $ store_arg $ corpus))
+        (const run $ jobs_term $ socket_arg $ cache $ queue $ deadline $ store_arg $ corpus
+       $ idle_timeout))
 
 let precompute_cmd =
   let max_area =
@@ -716,6 +725,36 @@ let loadgen_cmd =
       value & flag
       & info [ "shutdown" ] ~doc:"Finish by asking the server to shut down (socket mode).")
   in
+  let binary =
+    Arg.(
+      value & flag
+      & info [ "binary" ]
+          ~doc:"Speak the binary wire protocol instead of text lines (socket mode).")
+  in
+  let connections =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "connections" ] ~docv:"N"
+          ~doc:
+            "Open-loop mode: hold N concurrent connections against the daemon, one request in \
+             flight each, instead of the closed-loop batch driver.  Requires --socket.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Open-loop mode: aggregate target requests/second (0 = unpaced).")
+  in
+  let ops =
+    Arg.(
+      value
+      & opt (enum [ ("mixed", `Mixed); ("search", `Search_only) ]) `Mixed
+      & info [ "ops" ] ~docv:"MIX"
+          ~doc:
+            "Operation mix: 'mixed' (80/15/5 slot/schedule/tile-search) or 'search' \
+             (tile-search only, the zero-copy splice workload).")
+  in
   let cache =
     Arg.(
       value & opt int 256
@@ -725,7 +764,8 @@ let loadgen_cmd =
     Arg.(
       value & opt int 512 & info [ "queue" ] ~docv:"N" ~doc:"In-process mode: admission bound.")
   in
-  let run () socket requests clients zipf seed tiles shutdown cache queue =
+  let run () socket requests clients zipf seed tiles shutdown binary connections rate ops
+      cache queue =
     let ( let* ) = Result.bind in
     let* tiles =
       match tiles with
@@ -738,42 +778,64 @@ let loadgen_cmd =
             Ok ((name, tile) :: acc))
           (String.split_on_char ',' names) (Ok [])
     in
-    let config =
-      { Server.Loadgen.requests; clients; zipf; seed = Int64.of_int seed; tiles;
-        send_shutdown = shutdown }
-    in
-    let* report =
+    match connections with
+    | Some connections -> (
       match socket with
-      | None ->
-        if shutdown then Error (`Msg "--shutdown needs --socket")
-        else begin
-          let engine = Server.create ~cache_capacity:cache ~queue_bound:queue () in
-          Ok (Server.Loadgen.run engine config)
-        end
+      | None -> Error (`Msg "--connections (open-loop mode) needs --socket")
       | Some path -> (
-        match
-          Server.Frontend.with_connection ~path (fun send ->
-              Server.Loadgen.run_with ~send config)
-        with
-        | report -> Ok report
+        let open_config =
+          { Server.Loadgen.connections; rate; total = requests; binary; zipf;
+            seed = Int64.of_int seed; tiles; ops; send_shutdown = shutdown }
+        in
+        match Server.Loadgen.run_open ~path open_config with
+        | report ->
+          Format.printf "%a@." Server.Loadgen.pp_open_report report;
+          Ok ()
         | exception Unix.Unix_error (err, _, _) ->
-          Error (`Msg (Printf.sprintf "cannot drive %s: %s" path (Unix.error_message err))))
-    in
-    (* Deterministic summary on stdout (diffable across -j and runs);
-       wall-clock timing on stderr. *)
-    Format.printf "%a@." Server.Loadgen.pp_report report;
-    Format.eprintf "%a@." Server.Loadgen.pp_timing report;
-    Ok ()
+          Error (`Msg (Printf.sprintf "cannot drive %s: %s" path (Unix.error_message err)))))
+    | None ->
+      let config =
+        { Server.Loadgen.requests; clients; zipf; seed = Int64.of_int seed; tiles; ops;
+          send_shutdown = shutdown }
+      in
+      let* report =
+        match socket with
+        | None ->
+          if shutdown then Error (`Msg "--shutdown needs --socket")
+          else if binary then Error (`Msg "--binary needs --socket")
+          else begin
+            let engine = Server.create ~cache_capacity:cache ~queue_bound:queue () in
+            Ok (Server.Loadgen.run engine config)
+          end
+        | Some path -> (
+          match
+            if binary then
+              Server.Frontend.with_binary_connection ~path (fun send ->
+                  Server.Loadgen.run_binary ~send config)
+            else
+              Server.Frontend.with_connection ~path (fun send ->
+                  Server.Loadgen.run_with ~send config)
+          with
+          | report -> Ok report
+          | exception Unix.Unix_error (err, _, _) ->
+            Error (`Msg (Printf.sprintf "cannot drive %s: %s" path (Unix.error_message err))))
+      in
+      (* Deterministic summary on stdout (diffable across -j and runs);
+         wall-clock timing on stderr. *)
+      Format.printf "%a@." Server.Loadgen.pp_report report;
+      Format.eprintf "%a@." Server.Loadgen.pp_timing report;
+      Ok ()
   in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:
-         "Drive the schedule server with a Zipf-skewed closed-loop workload and report \
-          throughput, latency percentiles, cache hit rate, and backpressure behavior.")
+         "Drive the schedule server with a Zipf-skewed workload - closed-loop batches by \
+          default, open-loop with --connections/--rate - over either wire dialect, and \
+          report throughput, latency percentiles, cache hit rate, and backpressure behavior.")
     Term.(
       term_result
         (const run $ jobs_term $ socket_arg $ requests $ clients $ zipf $ seed $ tiles
-       $ shutdown $ cache $ queue))
+       $ shutdown $ binary $ connections $ rate $ ops $ cache $ queue))
 
 (* ---------- lint ---------- *)
 
@@ -1083,20 +1145,34 @@ let bench_cmd =
             "Run (or validate) the EXP-CORPUS corpus suite instead: mmap-snapshot vs store lookup \
              latency, warm and cold-start, emitted as BENCH_8.json.")
   in
+  let server_arg =
+    Arg.(
+      value & flag
+      & info [ "server" ]
+          ~doc:
+            "Run (or validate) the EXP-SRV2 wire-protocol suite instead: spawn a daemon over a \
+             fresh corpus, compare closed-loop text vs binary warm tile-search throughput, and \
+             drive a 10k-connection open-loop run for latency percentiles, emitted as \
+             BENCH_10.json.")
+  in
   let read_file path =
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let run () json validate quota skew lifetime corpus =
-    if (if skew then 1 else 0) + (if lifetime then 1 else 0) + (if corpus then 1 else 0) > 1 then
-      Error (`Msg "--skew, --lifetime and --corpus are mutually exclusive")
+  let run () json validate quota skew lifetime corpus server =
+    if
+      (if skew then 1 else 0) + (if lifetime then 1 else 0) + (if corpus then 1 else 0)
+      + (if server then 1 else 0)
+      > 1
+    then Error (`Msg "--skew, --lifetime, --corpus and --server are mutually exclusive")
     else
     let required =
       if lifetime then Microbench.required_lifetime
       else if skew then Microbench.required_skew
       else if corpus then Microbench.required_corpus
+      else if server then Microbench.required_server
       else Microbench.required
     in
     match validate with
@@ -1113,6 +1189,7 @@ let bench_cmd =
           if lifetime then Microbench.run_lifetime ~quota ()
           else if skew then Microbench.run_skew ~quota ()
           else if corpus then Microbench.run_corpus ~quota ()
+          else if server then Microbench.run_server ~quota ~exe:Sys.executable_name ()
           else Microbench.run ~quota ()
         in
         Printf.printf "%-42s %16s\n" "benchmark" "ns/call";
@@ -1140,11 +1217,12 @@ let bench_cmd =
           and optionally emit or validate the machine-readable BENCH_5.json artifact; with \
           $(b,--skew), the EXP-P3 static-vs-steal scheduler suite and BENCH_6.json instead; with \
           $(b,--lifetime), the EXP-L1 rotation/repair suite and BENCH_7.json; with \
-          $(b,--corpus), the EXP-CORPUS mmap-vs-store lookup suite and BENCH_8.json.")
+          $(b,--corpus), the EXP-CORPUS mmap-vs-store lookup suite and BENCH_8.json; with \
+          $(b,--server), the EXP-SRV2 wire-protocol suite and BENCH_10.json.")
     Term.(
       term_result
         (const run $ jobs_term $ json_arg $ validate_arg $ quota_arg $ skew_arg $ lifetime_arg
-       $ corpus_arg))
+       $ corpus_arg $ server_arg))
 
 let () =
   let doc = "Collision-free sensor scheduling by lattice tilings (Klappenecker-Lee-Welch 2008)" in

@@ -136,7 +136,7 @@ let payload t hit =
    scan for the line break and one blit; no parsing, no validation -
    the bytes were validated when the campaign wrote them (and again by
    [verify], if run). *)
-let tiling_fields t hit =
+let tiling_raw t hit =
   let sh = t.shards.(hit.shard) in
   let pos, len = payload_bounds t hit in
   let rec line_end i = if i = len || Bigarray.Array1.get sh.seg (pos + i) = '\n' then i else line_end (i + 1) in
@@ -145,7 +145,11 @@ let tiling_fields t hit =
     if i = stop then stop else if Bigarray.Array1.get sh.seg (pos + i) = '|' then i + 1 else first_sep (i + 1)
   in
   let start = first_sep 0 in
-  sub_string sh.seg (pos + start) (stop - start)
+  (sh.seg, pos + start, stop - start)
+
+let tiling_fields t hit =
+  let seg, pos, len = tiling_raw t hit in
+  sub_string seg pos len
 
 (* ---------- decode (the cold path) ---------- *)
 

@@ -23,6 +23,11 @@
 
 type t
 
+type buf =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** A mapped segment.  Read-only by convention (the mapping is opened
+    [O_RDONLY]); writes would fault. *)
+
 val open_ : string -> (t, string) result
 (** Map the corpus directory.  Fails if the corpus is absent, damaged,
     or not sealed (a campaign still running - or killed mid-build and
@@ -49,6 +54,12 @@ val tiling_fields : t -> hit -> string
     tiling line ([prototile=...|basis=...|offsets=...]), sliced straight
     from the mapped segment with no parsing - ready to splice verbatim
     into a [tile-search] response line. *)
+
+val tiling_raw : t -> hit -> buf * int * int
+(** The same fragment as {!tiling_fields} but without the copy: the
+    mapped segment and the fragment's [(offset, length)] within it, for
+    writev-style splicing of the bytes straight from the mmap into a
+    socket. *)
 
 val payload : t -> hit -> string
 (** The raw record payload (empty for non-exact verdicts). *)

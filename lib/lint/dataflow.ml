@@ -580,6 +580,7 @@ let open_kind comps =
   let opens s = String.length s >= 5 && String.sub s 0 5 = "open_" in
   match comps with
   | [ "Unix"; "openfile" ] -> Some "file descriptor"
+  | [ "Unix"; "socket" ] -> Some "socket"
   | [ "In_channel"; s ] when opens s -> Some "input channel"
   | [ ("open_in" | "open_in_bin" | "open_in_gen") ] -> Some "input channel"
   | [ "Out_channel"; s ] when opens s -> Some "output channel"
@@ -615,6 +616,22 @@ let direct_open e =
     | Some (_, comps) -> (
       match open_kind comps with Some k -> Some (k, e.exp_loc) | None -> None)
     | None -> None)
+  | _ -> None
+
+(* [let fd, _addr = Unix.accept ...] - the accepted socket arrives as
+   the first component of a pair, so the single-ident resource match
+   misses it; the fd ident is the resource. *)
+let accept_open e =
+  match e.exp_desc with
+  | Texp_apply (f, args) when args <> [] -> (
+    match head_of f with
+    | Some (_, [ "Unix"; "accept" ]) -> Some e.exp_loc
+    | Some _ | None -> None)
+  | _ -> None
+
+let tuple_fd_pat (p : pattern) =
+  match p.pat_desc with
+  | Tpat_tuple ({ pat_desc = Tpat_var (id, _); _ } :: _) -> Some id
   | _ -> None
 
 (* Track every let-bound open to a close on all paths.  The per-path
@@ -672,7 +689,10 @@ let r7_check_binding ctx vb =
                       match aggregate_open vb.vb_expr with
                       | Some oloc -> Some (id, "file descriptors", oloc)
                       | None -> None))
-                  | _ -> None
+                  | _ -> (
+                    match (tuple_fd_pat vb.vb_pat, accept_open vb.vb_expr) with
+                    | Some id, Some oloc -> Some (id, "accepted socket", oloc)
+                    | _ -> None)
                 in
                 let o' = walk protected o vb.vb_expr in
                 match o' with

@@ -31,6 +31,9 @@ let all =
         [
           ("lib/server/engine.ml", "staged search deadlines are real wall-clock budgets");
           ("lib/server/loadgen.ml", "the load generator reports real latency percentiles");
+          ("lib/server/evloop/loop.ml",
+           "the event loop's idle timeouts and shutdown grace are real wall-clock budgets, \
+            and its connection table is walked through a sorted view");
         ];
     };
     {
@@ -92,7 +95,10 @@ let all =
          path: a raise between open and close leaks the descriptor, and under the campaign's \
          fd-per-shard append pattern a few leaked bands exhaust the process limit.  Open-use-\
          close sequences that can raise must close from a Fun.protect finalizer (or use the \
-         In_channel/Out_channel with_open_* combinators, which are safe by construction).";
+         In_channel/Out_channel with_open_* combinators, which are safe by construction).  \
+         Sockets are descriptors too: every Unix.socket and Unix.accept in the server stack \
+         must reach Unix.close, or a few thousand abrupt client disconnects exhaust the \
+         daemon's fd limit.";
       scope = Under [ "lib/" ];
       allow = [];
     };

@@ -268,6 +268,154 @@ let run_corpus ?(quota = 0.5) () =
       Store.close store;
       rows)
 
+let required_server =
+  [
+    "server-text-warm-rps";
+    "server-binary-warm-rps";
+    "server-binary-vs-text-speedup";
+    "server-open-10k-p50-us";
+    "server-open-10k-p95-us";
+    "server-open-10k-p99-us";
+    "server-open-10k-dropped";
+  ]
+
+(* Every tile has area <= 5, so each canonical class is resident in the
+   n <= 5 corpus the suite builds: every tile-search is a warm mmap
+   hit, the workload the zero-copy splice path exists for.  The tiles
+   are pre-canonicalized so both dialects take their splice road (the
+   text engine's [Tiling_raw_r] and the loop-thread iovec path both
+   require the request orientation to be the stored canonical one). *)
+let server_small_tiles =
+  List.map
+    (fun (name, tile) -> (name, Symmetry.canonical tile))
+    [ ("tet-S", Prototile.tetromino `S);
+      ("tet-Z", Prototile.tetromino `Z);
+      ("tet-L", Prototile.tetromino `L);
+      ("tet-J", Prototile.tetromino `J);
+      ("tet-T", Prototile.tetromino `T);
+      ("tet-I", Prototile.tetromino `I);
+      ("tet-O", Prototile.tetromino `O);
+      ("rect2x2", Prototile.rect 2 2);
+      ("pent-P", Prototile.pentomino `P);
+      ("pent-L", Prototile.pentomino `L);
+      ("pent-I", Prototile.pentomino `I);
+      ("pent-X", Prototile.pentomino `X) ]
+
+let run_server ?(quota = 0.5) ~exe () =
+  if quota <= 0.0 then invalid_arg "Microbench.run_server: quota must be positive";
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tilesched-server-bench-%d" (Unix.getpid ()))
+  in
+  let corpus_dir = Filename.concat root "corpus" in
+  let sock = Filename.concat root "server.sock" in
+  let clean () =
+    rm_rf corpus_dir;
+    rm_rf root
+  in
+  clean ();
+  Unix.mkdir root 0o755;
+  Fun.protect ~finally:clean (fun () ->
+      (match Corpus.Campaign.run ~dir:corpus_dir ~max_n:5 () with
+      | Ok _ -> ()
+      | Error e -> invalid_arg ("Microbench.run_server: " ^ e));
+      let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+      let pid =
+        Unix.create_process exe
+          [| exe; "serve"; "-s"; sock; "--corpus"; corpus_dir; "--cache"; "1024" |]
+          null null Unix.stderr
+      in
+      Unix.close null;
+      (* The socket file appearing means bind has happened; a successful
+         probe connect means listen has too. *)
+      let rec await n =
+        let ready =
+          Sys.file_exists sock
+          &&
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          match Unix.connect fd (Unix.ADDR_UNIX sock) with
+          | () ->
+            Unix.close fd;
+            true
+          | exception Unix.Unix_error _ ->
+            Unix.close fd;
+            false
+        in
+        if ready then ()
+        else if n = 0 then invalid_arg "Microbench.run_server: server did not come up"
+        else begin
+          ignore (Unix.select [] [] [] 0.05);
+          await (n - 1)
+        end
+      in
+      await 200;
+      let reaped = ref false in
+      Fun.protect
+        ~finally:(fun () ->
+          if not !reaped then begin
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+          end)
+        (fun () ->
+          let n = max 1_000 (int_of_float (quota *. 10_000.)) in
+          let config =
+            { Server.Loadgen.default with
+              requests = n;
+              clients = 32;
+              tiles = server_small_tiles;
+              ops = `Search_only }
+          in
+          (* Untimed warmup: fault in the corpus mmap, fill the
+             server's payload memo and settle allocator state, so the
+             measured runs compare steady states rather than cold
+             starts. *)
+          let warmup = { config with requests = 1_000 } in
+          let (_ : Server.Loadgen.report) =
+            Server.Frontend.with_connection ~path:sock (fun send ->
+                Server.Loadgen.run_with ~send warmup)
+          in
+          let (_ : Server.Loadgen.report) =
+            Server.Frontend.with_binary_connection ~path:sock (fun send ->
+                Server.Loadgen.run_binary ~send warmup)
+          in
+          let text : Server.Loadgen.report =
+            Server.Frontend.with_connection ~path:sock (fun send ->
+                Server.Loadgen.run_with ~send config)
+          in
+          let binary : Server.Loadgen.report =
+            Server.Frontend.with_binary_connection ~path:sock (fun send ->
+                Server.Loadgen.run_binary ~send config)
+          in
+          let open_cfg =
+            { Server.Loadgen.open_default with
+              connections = 10_000;
+              total = 20_000;
+              binary = true;
+              tiles = server_small_tiles;
+              ops = `Search_only;
+              send_shutdown = true }
+          in
+          let open_r = Server.Loadgen.run_open ~path:sock open_cfg in
+          (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+          reaped := true;
+          let lat = open_r.Server.Loadgen.latency in
+          List.sort Stdlib.compare
+            [
+              { name = "server-text-warm-rps"; ns_per_call = text.Server.Loadgen.throughput };
+              { name = "server-binary-warm-rps";
+                ns_per_call = binary.Server.Loadgen.throughput };
+              { name = "server-binary-vs-text-speedup";
+                ns_per_call =
+                  (if text.Server.Loadgen.throughput > 0.0 then
+                     binary.Server.Loadgen.throughput /. text.Server.Loadgen.throughput
+                   else 0.0) };
+              { name = "server-open-10k-p50-us"; ns_per_call = lat.Netsim.Stats.p50_latency };
+              { name = "server-open-10k-p95-us"; ns_per_call = lat.Netsim.Stats.p95_latency };
+              { name = "server-open-10k-p99-us"; ns_per_call = lat.Netsim.Stats.p99_latency };
+              { name = "server-open-10k-dropped";
+                ns_per_call = float_of_int open_r.Server.Loadgen.dropped };
+            ]))
+
 let run ?(quota = 0.5) () =
   if quota <= 0.0 then invalid_arg "Microbench.run: quota must be positive";
   let open Bechamel in

@@ -104,6 +104,27 @@ val required_corpus : string list
 (** The name substrings {!validate_json} demands of the [BENCH_8.json]
     artifact: the four {!run_corpus} rows. *)
 
+val run_server : ?quota:float -> exe:string -> unit -> row list
+(** The wire-protocol suite (EXP-SRV2), serialized to [BENCH_10.json].
+    Builds an [n <= 5] corpus, spawns [exe serve --corpus] on a temp
+    Unix socket, and rides the two-key schema with three row families
+    in different units: closed-loop warm tile-search throughput under
+    each wire dialect ([server-text-warm-rps] vs
+    [server-binary-warm-rps], requests/second, with their ratio as
+    [server-binary-vs-text-speedup] - the binary codec plus the
+    zero-copy corpus splice path is required to clear 5x); the
+    open-loop per-request latency percentiles of a 10,000-connection
+    binary run ([server-open-10k-p{50,95,99}-us], microseconds); and
+    [server-open-10k-dropped], the undecodable-reply count of that
+    run, which must be 0.  The closed-loop request count scales with
+    [quota] ([quota * 10_000], at least 1000); the 10k-connection run
+    is fixed-size.  The run finishes by shutting the spawned server
+    down (and kills it if anything raises first). *)
+
+val required_server : string list
+(** The name substrings {!validate_json} demands of the [BENCH_10.json]
+    artifact: the seven {!run_server} rows. *)
+
 val to_json : row list -> string
 (** Serialize rows as a JSON array of two-key objects, one per line.
     Output round-trips through {!validate_json} provided the rows

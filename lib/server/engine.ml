@@ -41,6 +41,16 @@ let create ?(cache_capacity = 256) ?(queue_bound = 512) ?deadline
 
 let queue_bound t = t.queue_bound
 
+let corpus t = t.corpus
+
+(* The evloop front end answers warm binary corpus probes on the loop
+   thread without entering the engine; it folds those replies back into
+   the counters here, from the engine thread, so [stats] stays the one
+   source of truth and the counter fields stay single-threaded. *)
+let add_corpus_hits t n =
+  t.corpus_hits <- t.corpus_hits + n;
+  t.served <- t.served + n
+
 let canonical_key tile =
   Core.Codec.vecs_to_string (Prototile.cells (Symmetry.canonical tile))
 

@@ -76,6 +76,16 @@ val handle_batch : t -> Protocol.request list -> Protocol.response list
 val stats : t -> Protocol.server_stats
 val queue_bound : t -> int
 
+val corpus : t -> Corpus.Snapshot.t option
+(** The attached snapshot, if any — the evloop front end probes it
+    directly for its zero-copy binary reply path. *)
+
+val add_corpus_hits : t -> int -> unit
+(** Fold [n] corpus replies answered outside {!handle_batch} (the
+    front end's loop-thread fast path) into [corpus_hits] and [served].
+    Must be called from the thread that runs {!handle_batch}; the
+    counters are not atomic. *)
+
 val flush_to_store : t -> int
 (** Write every memory-tier entry the store does not already hold
     through to the store ({!Cache.fold} over the LRU, hottest first);

@@ -1,0 +1,59 @@
+type t = { epfd : Unix.file_descr }
+
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* Constructor order and payload shape are baked into evloop_stubs.c:
+   Str/Byt (tags 0/1) read through Bytes_val, Big (tag 2) through
+   Caml_ba_data_val. *)
+type iovec =
+  | Str of string * int * int
+  | Byt of bytes * int * int
+  | Big of bigstring * int * int
+
+external epoll_create : unit -> Unix.file_descr = "tilesched_epoll_create"
+
+external epoll_ctl : Unix.file_descr -> int -> Unix.file_descr -> int -> unit
+  = "tilesched_epoll_ctl"
+
+external epoll_wait :
+  Unix.file_descr -> int -> (Unix.file_descr * int) array
+  = "tilesched_epoll_wait"
+
+external writev : Unix.file_descr -> iovec array -> int = "tilesched_writev"
+
+let create () = { epfd = epoll_create () }
+
+let close t = Unix.close t.epfd
+
+let mask ~read ~write = (if read then 1 else 0) lor (if write then 2 else 0)
+
+let add t fd ~read ~write = epoll_ctl t.epfd 0 fd (mask ~read ~write)
+
+let modify t fd ~read ~write = epoll_ctl t.epfd 1 fd (mask ~read ~write)
+
+let remove t fd = epoll_ctl t.epfd 2 fd 0
+
+type event = {
+  fd : Unix.file_descr;
+  readable : bool;
+  writable : bool;
+  error : bool;
+}
+
+let wait t ~timeout_ms =
+  let raw = epoll_wait t.epfd timeout_ms in
+  Array.map
+    (fun (fd, m) ->
+      {
+        fd;
+        readable = m land 1 <> 0;
+        writable = m land 2 <> 0;
+        error = m land 4 <> 0;
+      })
+    raw
+
+let iovec_len = function
+  | Str (_, _, l) | Byt (_, _, l) | Big (_, _, l) -> l
+
+let max_iov = 64

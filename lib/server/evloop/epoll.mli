@@ -1,0 +1,52 @@
+(** Thin wrapper over Linux [epoll(7)] plus an iovec [writev(2)].
+
+    [Unix.select] caps a process at 1024 descriptors; the serving tier
+    targets 10k concurrent connections, so readiness comes from the
+    kernel's epoll queue instead.  The iovec writev is the zero-copy
+    reply path: outgoing frames scatter directly out of OCaml strings,
+    bytes, and mmap-backed bigarrays without re-assembly. *)
+
+type t
+(** An epoll instance (owns one kernel file descriptor). *)
+
+val create : unit -> t
+
+val close : t -> unit
+
+val add : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+(** Register [fd] with the given interest mask.  Level-triggered. *)
+
+val modify : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+
+val remove : t -> Unix.file_descr -> unit
+
+type event = {
+  fd : Unix.file_descr;
+  readable : bool;  (** data pending, or peer hung up (read sees EOF) *)
+  writable : bool;
+  error : bool;  (** EPOLLERR / EPOLLHUP *)
+}
+
+val wait : t -> timeout_ms:int -> event array
+(** Block up to [timeout_ms] (-1 = forever) for events.  An interrupted
+    wait ([EINTR]) returns the empty array. *)
+
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type iovec =
+  | Str of string * int * int  (** (buffer, offset, length) *)
+  | Byt of bytes * int * int
+  | Big of bigstring * int * int
+      (** mmap-backed slice; written without copying into the heap *)
+
+val iovec_len : iovec -> int
+
+val max_iov : int
+(** Most iovecs one [writev] call consumes; extras are left for the
+    next call. *)
+
+val writev : Unix.file_descr -> iovec array -> int
+(** Gathering write.  Returns bytes written (possibly short on a
+    non-blocking fd); raises [Unix.Unix_error (EAGAIN, _, _)] when the
+    socket buffer is full. *)

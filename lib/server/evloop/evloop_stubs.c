@@ -1,0 +1,114 @@
+/* Linux epoll + writev bindings for the event-loop server.
+ *
+ * The OCaml Unix library stops at select(), whose fd_set caps a process
+ * at 1024 descriptors; the 10k-connection serving tier needs the
+ * kernel's readiness queue.  Three tiny stubs suffice: epoll lifecycle,
+ * a wait that translates events into a small int mask, and a writev
+ * that scatters straight out of OCaml strings/bytes and mmap-backed
+ * bigarrays (the zero-copy reply path).
+ *
+ * writev deliberately does NOT release the runtime lock: its iovecs
+ * point into the OCaml heap (strings move under the GC), and the fds it
+ * is used on are non-blocking, so the call cannot park the domain.
+ * epoll_wait does release the lock - it blocks, and touches no OCaml
+ * values while doing so. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/bigarray.h>
+#include <caml/threads.h>
+#include <caml/unixsupport.h>
+
+#include <errno.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+CAMLprim value tilesched_epoll_create(value unit)
+{
+  int fd = epoll_create1(0);
+  if (fd == -1) caml_uerror("epoll_create1", Nothing);
+  return Val_int(fd);
+}
+
+/* op: 0 = add, 1 = mod, 2 = del; mask: bit 0 = in, bit 1 = out. */
+CAMLprim value tilesched_epoll_ctl(value epfd, value op, value fd, value mask)
+{
+  struct epoll_event ev;
+  int cop;
+  memset(&ev, 0, sizeof ev);
+  if (Int_val(mask) & 1) ev.events |= EPOLLIN;
+  if (Int_val(mask) & 2) ev.events |= EPOLLOUT;
+  ev.data.fd = Int_val(fd);
+  switch (Int_val(op)) {
+  case 0: cop = EPOLL_CTL_ADD; break;
+  case 1: cop = EPOLL_CTL_MOD; break;
+  default: cop = EPOLL_CTL_DEL; break;
+  }
+  if (epoll_ctl(Int_val(epfd), cop, Int_val(fd), &ev) == -1)
+    caml_uerror("epoll_ctl", Nothing);
+  return Val_unit;
+}
+
+#define EVLOOP_MAX_EVENTS 512
+
+/* Returns an array of (fd, mask) pairs; mask: bit 0 = readable (or
+ * hung up - the next read() observes EOF), bit 1 = writable, bit 2 =
+ * error/hangup.  EINTR reads as an empty round. */
+CAMLprim value tilesched_epoll_wait(value epfd, value timeout_ms)
+{
+  CAMLparam2(epfd, timeout_ms);
+  CAMLlocal2(arr, pair);
+  struct epoll_event evs[EVLOOP_MAX_EVENTS];
+  int n, i;
+  caml_release_runtime_system();
+  n = epoll_wait(Int_val(epfd), evs, EVLOOP_MAX_EVENTS, Int_val(timeout_ms));
+  caml_acquire_runtime_system();
+  if (n == -1) {
+    if (errno == EINTR) n = 0;
+    else caml_uerror("epoll_wait", Nothing);
+  }
+  arr = n == 0 ? Atom(0) : caml_alloc(n, 0);
+  for (i = 0; i < n; i++) {
+    int m = 0;
+    if (evs[i].events & (EPOLLIN | EPOLLHUP)) m |= 1;
+    if (evs[i].events & EPOLLOUT) m |= 2;
+    if (evs[i].events & (EPOLLERR | EPOLLHUP)) m |= 4;
+    pair = caml_alloc_tuple(2);
+    Store_field(pair, 0, Val_int(evs[i].data.fd));
+    Store_field(pair, 1, Val_int(m));
+    Store_field(arr, i, pair);
+  }
+  CAMLreturn(arr);
+}
+
+#define EVLOOP_MAX_IOV 64
+
+/* iovs is an array of Epoll.iovec: Str (tag 0), Byt (tag 1) and Big
+ * (tag 2) all carry (base, off, len).  At most EVLOOP_MAX_IOV entries
+ * are written per call; the caller loops on the returned byte count. */
+CAMLprim value tilesched_writev(value fd, value iovs)
+{
+  struct iovec vecs[EVLOOP_MAX_IOV];
+  int n = Wosize_val(iovs);
+  int i;
+  ssize_t w;
+  if (n > EVLOOP_MAX_IOV) n = EVLOOP_MAX_IOV;
+  if (n == 0) return Val_long(0);
+  for (i = 0; i < n; i++) {
+    value v = Field(iovs, i);
+    value base = Field(v, 0);
+    long off = Long_val(Field(v, 1));
+    vecs[i].iov_len = Long_val(Field(v, 2));
+    if (Tag_val(v) == 2)
+      vecs[i].iov_base = (char *)Caml_ba_data_val(base) + off;
+    else
+      vecs[i].iov_base = (char *)Bytes_val(base) + off;
+  }
+  w = writev(Int_val(fd), vecs, n);
+  if (w == -1) caml_uerror("writev", Nothing);
+  return Val_long(w);
+}

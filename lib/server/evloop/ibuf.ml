@@ -1,0 +1,25 @@
+type t = { mutable data : bytes; mutable start : int; mutable len : int }
+
+let create () = { data = Bytes.create 4096; start = 0; len = 0 }
+
+let append b src n =
+  let cap = Bytes.length b.data in
+  if b.start + b.len + n > cap then
+    if b.len + n <= cap then begin
+      (* Room overall, just not at the tail: compact in place. *)
+      Bytes.blit b.data b.start b.data 0 b.len;
+      b.start <- 0
+    end
+    else begin
+      let data' = Bytes.create (max (b.len + n) (cap * 2)) in
+      Bytes.blit b.data b.start data' 0 b.len;
+      b.data <- data';
+      b.start <- 0
+    end;
+  Bytes.blit src 0 b.data (b.start + b.len) n;
+  b.len <- b.len + n
+
+let drop b n =
+  b.start <- b.start + n;
+  b.len <- b.len - n;
+  if b.len = 0 then b.start <- 0

@@ -1,0 +1,18 @@
+(** Growable input window with O(1) amortized append and front
+    consumption.  Binary framing needs random access into the buffered
+    bytes (which [Buffer] does not give); both the server's connection
+    reader and the load generator's reply readers use this. *)
+
+type t = private {
+  mutable data : bytes;
+  mutable start : int;  (** first live byte *)
+  mutable len : int;  (** live byte count *)
+}
+
+val create : unit -> t
+
+val append : t -> bytes -> int -> unit
+(** [append b src n] copies bytes [0..n-1] of [src] onto the end. *)
+
+val drop : t -> int -> unit
+(** Consume [n] bytes from the front. *)

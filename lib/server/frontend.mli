@@ -1,16 +1,31 @@
-(** Line-oriented front ends for the schedule server.
+(** Front ends for the schedule server.
 
-    Each request is one line, each reply is one line, in the
-    {!Protocol} grammar; replies come back in request order.  Malformed
-    lines are answered with an [error] reply by the front end itself
-    (they never reach the engine or occupy an admission slot).
+    [serve_stdio] is the line-oriented pipeline/test transport.
+    [serve_unix] is the production daemon: an {!Evloop.Loop}-based
+    epoll server on a Unix domain socket, speaking both wire dialects
+    through one port.  The first byte of each connection picks the
+    protocol — {!Wire.magic0} opens a binary frame stream, anything
+    else (in practice ['t'], the record-header initial of every text
+    line) the classic line protocol, so existing text clients connect
+    unchanged.
 
-    Two transports share this logic: [serve_stdio] for pipelines and
-    tests, and [serve_unix] - a select-loop daemon on a Unix domain
-    socket serving many concurrent clients, whose per-round batch is
-    exactly what the engine's admission control bounds.  A [shutdown]
-    request makes either server finish its batch, reply to everyone,
-    and exit cleanly. *)
+    The accept/read/write machinery runs on one loop thread that never
+    blocks on engine time: parsed requests cross to a dedicated engine
+    domain through a FIFO bridge, are batched into [handle_batch] calls
+    (preserving cross-client coalescing and admission control), and the
+    encoded replies are injected back for the loop thread to write.
+    Warm binary [tile-search] corpus probes skip the bridge entirely:
+    the reply frame is spliced from the corpus mmap straight into the
+    socket via writev iovecs on the loop thread (zero copies of the
+    payload).  Replies stay in request order per connection on both
+    dialects.
+
+    Malformed text lines are answered with an [error] reply by the
+    front end itself (they never reach the engine or occupy an
+    admission slot); a malformed {e binary frame} closes its
+    connection — and only that connection.  A [shutdown] request makes
+    either server finish the batch, flush every queued reply, and exit
+    cleanly. *)
 
 val handle_lines : Engine.t -> string list -> string list * bool
 (** One reply line per request line, plus [true] when the batch
@@ -22,16 +37,27 @@ val serve_stdio : Engine.t -> unit
     flushes the current batch, and batches are also flushed at the
     engine's queue bound.  Replies go to stdout. *)
 
-val serve_unix : Engine.t -> path:string -> unit
+val serve_unix : ?idle_timeout:float -> Engine.t -> path:string -> unit
 (** Bind [path] (an existing socket file is replaced), accept clients,
-    and serve until a [shutdown] request arrives; then reply, close all
-    connections, and unlink [path].  Each select round drains whatever
-    complete lines the clients have sent and runs them as one engine
-    batch, so a burst beyond [queue_bound] gets [overloaded] replies
-    rather than unbounded buffering.  Lines longer than 1 MiB close the
-    offending connection. *)
+    and serve until a [shutdown] request arrives; then reply, drain,
+    close all connections, and unlink [path].  [idle_timeout] (seconds,
+    0 = disabled, the default) closes connections with no inbound
+    traffic for that long.  Text lines longer than 1 MiB close the
+    offending connection, as do binary frames that fail magic, version,
+    CRC, or opcode validation. *)
 
 val with_connection : path:string -> ((string list -> string list) -> 'a) -> 'a
-(** Client side: connect to [path] and pass a batch sender to the
+(** Text client: connect to [path] and pass a batch sender to the
     callback.  The sender writes its lines and reads exactly one reply
     line per request, in order. *)
+
+val with_binary_connection :
+  path:string ->
+  ((Protocol.request list ->
+   (int option * Protocol.response, string) result list) ->
+  'a) ->
+  'a
+(** Binary client: the sender frames its requests (ids [0..n-1]),
+    writes them as one burst, and reads one reply frame per request, in
+    order.  Each reply decodes independently, so one corrupt frame
+    reports [Error] without poisoning the rest. *)

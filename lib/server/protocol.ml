@@ -191,6 +191,17 @@ let tiling_of kvs =
   let kvs = List.filter (fun (k, _) -> List.mem k keep) kvs in
   Codec.tiling_of_string (Codec.encode_record ~kind:"tiling" kvs)
 
+(* The binary protocol ships tiling replies as the same '|'-separated
+   field fragment the corpus splices into text lines; these two are the
+   fragment codec it shares with [Wire]. *)
+let tiling_fragment t =
+  String.concat "|" (List.map (fun (k, v) -> k ^ "=" ^ v) (tiling_fields t))
+
+let tiling_of_fragment frag =
+  let header = Codec.encode_record ~kind:"tiling" [] in
+  let* kvs = Codec.decode_record ~kind:"tiling" (header ^ "|" ^ frag) in
+  tiling_of kvs
+
 let response_to_string ?id resp =
   let encode fields = Codec.encode_record ~kind:"response" (id_fields id @ fields) in
   match resp with

@@ -87,4 +87,13 @@ val response_of_string : string -> (int option * response, string) result
 (** [Tiling_r] rebuilds its certificate with {!Core.Certificate.build},
     so a decoded certificate is trustworthy iff the tiling validates. *)
 
+val tiling_fragment : Tiling.Single.t -> string
+(** The ['|']-separated field fragment of a tiling
+    ([prototile=...|basis=...|offsets=...]) — the exact byte shape the
+    corpus snapshot stores and {!Tiling_raw_r} splices, shared with the
+    binary codec ({!Wire}). *)
+
+val tiling_of_fragment : string -> (Tiling.Single.t, string) result
+(** Decode a {!tiling_fragment}, revalidating the tiling. *)
+
 val pp_server_stats : Format.formatter -> server_stats -> unit

@@ -7,6 +7,7 @@
 
 module Cache = Cache
 module Protocol = Protocol
+module Wire = Wire
 module Engine = Engine
 module Frontend = Frontend
 module Loadgen = Loadgen

@@ -94,6 +94,17 @@ dune exec bin/tilesched.exe -- bench --corpus --json "$bench8_json" --quota 0.02
 dune exec bin/tilesched.exe -- bench --corpus --validate "$bench8_json"
 rm -f "$bench8_json"
 
+# And for BENCH_10.json, the EXP-SRV2 wire-protocol suite (binary vs
+# text throughput through the epoll daemon, 10k-connection open-loop
+# percentiles).  The open-loop leg holds 10k client sockets in the
+# bench process and 10k accepted ones in the daemon, so raise the fd
+# soft limit where the hard limit allows.
+ulimit -n 20000 2>/dev/null || true
+bench10_json=/tmp/tilesched-bench10-smoke.json
+dune exec bin/tilesched.exe -- bench --server --json "$bench10_json" --quota 0.02 > /dev/null
+dune exec bin/tilesched.exe -- bench --server --validate "$bench10_json"
+rm -f "$bench10_json"
+
 # Every committed BENCH_*.json must validate against its own suite's
 # schema, so a stale in-repo artifact fails fast.  The suffix picks the
 # suite; an artifact this map doesn't know is itself an error.
@@ -103,6 +114,7 @@ for artifact in $(git ls-files 'BENCH_*.json'); do
     BENCH_6.json) flag="--skew" ;;
     BENCH_7.json) flag="--lifetime" ;;
     BENCH_8.json) flag="--corpus" ;;
+    BENCH_10.json) flag="--server" ;;
     *)
       echo "error: $artifact: no validation suite mapped for this artifact" >&2
       exit 1
@@ -137,5 +149,24 @@ awk '
     }
   }
 ' BENCH_8.json
+
+# The committed BENCH_10.json must show the binary wire protocol
+# earning its keep: at least 5x the text dialect's throughput on warm
+# corpus hits, and a 10k-connection open-loop run that dropped nothing.
+awk '
+  /server-binary-vs-text-speedup/ { if (match($0, /"ns_per_call": [0-9.eE+-]+/)) speedup = substr($0, RSTART + 15, RLENGTH - 15) }
+  /server-open-10k-dropped/       { if (match($0, /"ns_per_call": [0-9.eE+-]+/)) dropped = substr($0, RSTART + 15, RLENGTH - 15) }
+  END {
+    if (speedup == "" || dropped == "") { print "error: BENCH_10.json: missing speedup or dropped rows" > "/dev/stderr"; exit 1 }
+    if (speedup + 0 < 5.0) {
+      printf "error: BENCH_10.json: binary/text speedup %s below the 5x gate\n", speedup > "/dev/stderr"
+      exit 1
+    }
+    if (dropped + 0 != 0) {
+      printf "error: BENCH_10.json: open-loop run dropped %s frames\n", dropped > "/dev/stderr"
+      exit 1
+    }
+  }
+' BENCH_10.json
 
 echo "all checks passed"

@@ -482,6 +482,78 @@ let test_r7_mmap_protected_clean () =
   in
   check_rule_count "mapping then closing is clean" "R7" 0 report
 
+let test_r7_socket_leak_on_raise () =
+  let report =
+    scan
+      [
+        ( "lib/server/probe.ml",
+          "let probe path =\n\
+          \  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in\n\
+          \  Unix.connect fd (Unix.ADDR_UNIX path);\n\
+          \  Unix.close fd\n" );
+        ("lib/server/probe.mli", "val probe : string -> unit\n");
+      ]
+  in
+  check_rule_count "connect can raise before the close" "R7" 1 report;
+  match by_rule "R7" report with
+  | [ f ] ->
+    Alcotest.(check bool) "names the socket kind" true
+      (contains ~needle:"socket" f.Lint.Finding.message);
+    Alcotest.(check bool) "cites the raising call" true
+      (contains ~needle:"Unix.connect" f.Lint.Finding.message)
+  | _ -> Alcotest.fail "expected one R7 finding"
+
+let test_r7_socket_protected_clean () =
+  let report =
+    scan
+      [
+        ( "lib/server/probe.ml",
+          "let probe path =\n\
+          \  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in\n\
+          \  Fun.protect\n\
+          \    ~finally:(fun () -> Unix.close fd)\n\
+          \    (fun () -> Unix.connect fd (Unix.ADDR_UNIX path))\n" );
+        ("lib/server/probe.mli", "val probe : string -> unit\n");
+      ]
+  in
+  check_rule_count "protected connect is clean" "R7" 0 report
+
+let test_r7_accept_leak_on_raise () =
+  let report =
+    scan
+      [
+        ( "lib/server/greet.ml",
+          "let greet listen =\n\
+          \  let fd, _addr = Unix.accept listen in\n\
+          \  let b = Bytes.create 1 in\n\
+          \  ignore (Unix.read fd b 0 1);\n\
+          \  Unix.close fd\n" );
+        ("lib/server/greet.mli", "val greet : Unix.file_descr -> unit\n");
+      ]
+  in
+  check_rule_count "read can raise before the accepted close" "R7" 1 report;
+  match by_rule "R7" report with
+  | [ f ] ->
+    Alcotest.(check bool) "names the accepted socket" true
+      (contains ~needle:"accepted socket" f.Lint.Finding.message)
+  | _ -> Alcotest.fail "expected one R7 finding"
+
+let test_r7_accept_protected_clean () =
+  let report =
+    scan
+      [
+        ( "lib/server/greet.ml",
+          "let greet listen =\n\
+          \  let b = Bytes.create 1 in\n\
+          \  let fd, _addr = Unix.accept listen in\n\
+          \  Fun.protect\n\
+          \    ~finally:(fun () -> Unix.close fd)\n\
+          \    (fun () -> ignore (Unix.read fd b 0 1))\n" );
+        ("lib/server/greet.mli", "val greet : Unix.file_descr -> unit\n");
+      ]
+  in
+  check_rule_count "protected accepted socket is clean" "R7" 0 report
+
 (* ---------- R5: interface coverage ---------- *)
 
 let test_r5 () =
@@ -870,6 +942,14 @@ let () =
           Alcotest.test_case "Fun.protect close is clean" `Quick test_r7_fun_protect_clean;
           Alcotest.test_case "mmap without close" `Quick test_r7_mmap_without_close;
           Alcotest.test_case "mmap with protected close is clean" `Quick test_r7_mmap_protected_clean;
+          Alcotest.test_case "socket leaks when connect raises" `Quick
+            test_r7_socket_leak_on_raise;
+          Alcotest.test_case "protected socket connect is clean" `Quick
+            test_r7_socket_protected_clean;
+          Alcotest.test_case "accepted socket leaks when read raises" `Quick
+            test_r7_accept_leak_on_raise;
+          Alcotest.test_case "protected accepted socket is clean" `Quick
+            test_r7_accept_protected_clean;
         ] );
       ( "r5-interfaces",
         [ Alcotest.test_case "missing .mli flagged, bin/test exempt" `Quick test_r5 ] );

@@ -1,0 +1,377 @@
+(* Tests for the binary wire protocol and the epoll socket server:
+   frame round-trips for every message type, decoder totality under
+   truncation and bit flips, protocol sniffing (both dialects through
+   one socket), corrupt-frame connection isolation, and the
+   fd-leak-on-abrupt-disconnect regression. *)
+
+open Lattice
+module Protocol = Server.Protocol
+module Wire = Server.Wire
+module Engine = Server.Engine
+module Frontend = Server.Frontend
+
+let qc = QCheck_alcotest.to_alcotest
+
+let tet c = Prototile.tetromino c
+let v2 = Zgeom.Vec.make2
+
+(* ---------- sample frames, one per message type ---------- *)
+
+let sample_requests : (int option * Protocol.request) list =
+  [ (Some 0, Protocol.Slot { tile = tet `S; pos = v2 1 2 });
+    (None, Protocol.Slot { tile = Prototile.rect 2 2; pos = v2 (-3) 7 });
+    (Some 42, Protocol.Schedule (tet `L));
+    (Some 7, Protocol.Tile_search (Prototile.rect 2 3));
+    (None, Protocol.Tile_search (tet `T));
+    (Some 0xFFFFFFFE, Protocol.Stats);
+    (None, Protocol.Shutdown) ]
+
+let engine_response req =
+  Engine.handle (Engine.create ()) req
+
+let sample_responses : (int option * Protocol.response) list =
+  let tiling_r = engine_response (Protocol.Tile_search (tet `L)) in
+  let schedule_r = engine_response (Protocol.Schedule (tet `S)) in
+  let stats_r = engine_response Protocol.Stats in
+  let fragment =
+    match tiling_r with
+    | Protocol.Tiling_r { tiling; _ } -> Protocol.tiling_fragment tiling
+    | _ -> Alcotest.fail "engine did not find a tiling for the L tetromino"
+  in
+  [ (Some 1, Protocol.Slot_r { slot = 1; num_slots = 4; source = Some Protocol.Memory });
+    (None, Protocol.Slot_r { slot = 0; num_slots = 1; source = None });
+    (Some 2, schedule_r);
+    (Some 3, tiling_r);
+    (Some 4, Protocol.Tiling_raw_r { tiling_fields = fragment; source = Some Protocol.Corpus });
+    (Some 5, stats_r);
+    (Some 6, Protocol.No_tiling (Some Protocol.Store));
+    (None, Protocol.No_tiling None);
+    (Some 8, Protocol.Overloaded);
+    (Some 9, Protocol.Deadline_exceeded);
+    (None, Protocol.Shutting_down);
+    (Some 10, Protocol.Error_r "boom | with = separators \x00 and bytes") ]
+
+(* Tiling replies share one opcode and decode structurally to
+   [Tiling_raw_r]; normalize both sides to raw form for comparison. *)
+let normalize_response (r : Protocol.response) : Protocol.response =
+  match r with
+  | Protocol.Tiling_r { tiling; certificate = _; source } ->
+    Protocol.Tiling_raw_r
+      { tiling_fields = Protocol.tiling_fragment tiling; source }
+  | r -> r
+
+let response_eq a b =
+  (* [Stats_r] and friends are plain data; tilings were normalized to
+     their canonical fragment strings, so structural equality is exact. *)
+  normalize_response a = normalize_response b
+
+let test_request_roundtrip () =
+  List.iter
+    (fun (id, req) ->
+      let frame = Wire.encode_request ?id req in
+      match Wire.decode_request frame with
+      | Error e -> Alcotest.failf "request frame rejected: %s" e
+      | Ok (id', req') ->
+        Alcotest.(check (option int)) "id survives" id id';
+        Alcotest.(check string) "request survives"
+          (Protocol.request_to_string req)
+          (Protocol.request_to_string req'))
+    sample_requests
+
+let test_response_roundtrip () =
+  List.iter
+    (fun (id, resp) ->
+      let frame = Wire.encode_response ?id resp in
+      match Wire.decode_response frame with
+      | Error e -> Alcotest.failf "response frame rejected: %s" e
+      | Ok (id', resp') ->
+        Alcotest.(check (option int)) "id survives" id id';
+        Alcotest.(check bool) "response survives" true (response_eq resp resp'))
+    sample_responses
+
+let all_frames =
+  lazy
+    (List.map (fun (id, r) -> Wire.encode_request ?id r) sample_requests
+    @ List.map (fun (id, r) -> Wire.encode_response ?id r) sample_responses)
+
+(* Both decoders on arbitrary bytes: any result is fine, raising is
+   not. *)
+let decode_total s =
+  (match Wire.decode_request s with Ok _ | Error _ -> ());
+  (match Wire.decode_response s with Ok _ | Error _ -> ())
+
+let test_truncation_every_offset () =
+  List.iter
+    (fun frame ->
+      let n = String.length frame in
+      for i = 0 to n - 1 do
+        let prefix = String.sub frame 0 i in
+        decode_total prefix;
+        (match Wire.decode_request prefix with
+        | Ok _ -> Alcotest.failf "truncated frame (%d/%d bytes) accepted" i n
+        | Error _ -> ());
+        match Wire.decode_response prefix with
+        | Ok _ -> Alcotest.failf "truncated frame (%d/%d bytes) accepted" i n
+        | Error _ -> ()
+      done)
+    (Lazy.force all_frames)
+
+let test_bitflip_every_bit () =
+  (* CRC32 detects every single-bit error, and header flips trip the
+     magic/version/length checks, so no flipped frame may decode. *)
+  List.iter
+    (fun frame ->
+      let n = String.length frame in
+      for i = 0 to n - 1 do
+        for bit = 0 to 7 do
+          let b = Bytes.of_string frame in
+          Bytes.set b i (Char.chr (Char.code frame.[i] lxor (1 lsl bit)));
+          let mutated = Bytes.to_string b in
+          decode_total mutated;
+          (match Wire.decode_request mutated with
+          | Ok _ -> Alcotest.failf "bit flip at byte %d bit %d accepted" i bit
+          | Error _ -> ());
+          match Wire.decode_response mutated with
+          | Ok _ -> Alcotest.failf "bit flip at byte %d bit %d accepted" i bit
+          | Error _ -> ()
+        done
+      done)
+    (Lazy.force all_frames)
+
+(* Random mutations (substitutions, deletions, splices across frames)
+   on top of the exhaustive single-fault sweeps above. *)
+let test_fuzz_mutations =
+  let frames = Lazy.force all_frames in
+  let gen =
+    let open QCheck.Gen in
+    let* frame = oneofl frames in
+    let n = String.length frame in
+    oneof
+      [ (let* i = int_bound (n - 1) in
+         let* c = char in
+         return (String.mapi (fun j x -> if j = i then c else x) frame));
+        (let* i = int_bound (n - 1) in
+         return (String.sub frame 0 i ^ String.sub frame (i + 1) (n - i - 1)));
+        (let* other = oneofl frames in
+         let* i = int_bound (n - 1) in
+         return (String.sub frame 0 i ^ other));
+        (let* len = int_bound 64 in
+         string_size (return len)) ]
+  in
+  QCheck.Test.make ~count:2_000 ~name:"mutated binary frames never raise"
+    (QCheck.make gen)
+    (fun s ->
+      decode_total s;
+      let b = Bytes.of_string s in
+      (match Wire.frame_total b ~off:0 ~avail:(Bytes.length b) with
+      | Wire.Need_more | Wire.Total _ | Wire.Bad_frame _ -> ());
+      true)
+
+let test_header_peeks () =
+  let frame = Wire.encode_request ~id:11 Protocol.Stats in
+  Alcotest.(check bool) "crc ok on valid frame" true (Wire.frame_crc_ok frame);
+  Alcotest.(check (option int)) "id peek" (Some 11) (Wire.frame_id frame);
+  let anon = Wire.encode_request Protocol.Stats in
+  Alcotest.(check (option int)) "anonymous id peek" None (Wire.frame_id anon);
+  let b = Bytes.of_string frame in
+  Bytes.set b (Bytes.length b - 1)
+    (Char.chr (Char.code (Bytes.get b (Bytes.length b - 1)) lxor 1));
+  Alcotest.(check bool) "crc catches trailer flip" false
+    (Wire.frame_crc_ok (Bytes.to_string b))
+
+(* ---------- socket server ---------- *)
+
+let sock_counter = ref 0
+
+let with_server f =
+  incr sock_counter;
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tilesched-wire-%d-%d.sock" (Unix.getpid ()) !sock_counter)
+  in
+  let engine = Engine.create () in
+  let d = Domain.spawn (fun () -> Frontend.serve_unix engine ~path) in
+  let rec await n =
+    let ready =
+      Sys.file_exists path
+      &&
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () ->
+        Unix.close fd;
+        true
+      | exception Unix.Unix_error _ ->
+        Unix.close fd;
+        false
+    in
+    if ready then ()
+    else if n = 0 then Alcotest.fail "server did not come up"
+    else begin
+      ignore (Unix.select [] [] [] 0.02);
+      await (n - 1)
+    end
+  in
+  await 250;
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         Frontend.with_connection ~path (fun send ->
+             ignore (send [ Protocol.request_to_string Protocol.Shutdown ]))
+       with _ -> ());
+      Domain.join d)
+    (fun () -> f path)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      go (off + Unix.write fd b off (Bytes.length b - off))
+  in
+  go 0
+
+let really_read fd buf off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.read fd buf off len in
+      if n = 0 then Alcotest.fail "unexpected EOF mid-frame";
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+let read_frame fd =
+  let hdr = Bytes.create Wire.header_size in
+  really_read fd hdr 0 Wire.header_size;
+  match Wire.frame_total hdr ~off:0 ~avail:Wire.header_size with
+  | Wire.Total total ->
+    let rest = Bytes.create (total - Wire.header_size) in
+    really_read fd rest 0 (total - Wire.header_size);
+    Bytes.to_string hdr ^ Bytes.to_string rest
+  | Wire.Need_more | Wire.Bad_frame _ -> Alcotest.fail "bad frame head"
+
+let test_sniff_both_dialects () =
+  let req = Protocol.Slot { tile = tet `T; pos = v2 3 1 } in
+  (* Reference reply from a fresh engine: the served bytes must match
+     it exactly, proving text clients are untouched by the new
+     transport. *)
+  let expected = Protocol.response_to_string ~id:5 (engine_response req) in
+  with_server (fun path ->
+      let got =
+        Frontend.with_connection ~path (fun send ->
+            send [ Protocol.request_to_string ~id:5 req ])
+      in
+      Alcotest.(check (list string)) "text reply byte-identical" [ expected ] got;
+      (match Frontend.with_binary_connection ~path (fun send -> send [ req ]) with
+      | [ Ok (Some 0, Protocol.Slot_r { slot; num_slots; _ }) ] -> (
+        match engine_response req with
+        | Protocol.Slot_r { slot = s; num_slots = n; _ } ->
+          Alcotest.(check int) "binary slot" s slot;
+          Alcotest.(check int) "binary num_slots" n num_slots
+        | _ -> Alcotest.fail "reference engine did not answer Slot_r")
+      | _ -> Alcotest.fail "binary dialect through the same socket failed");
+      (* Text again, after a binary connection came and went. *)
+      match
+        Frontend.with_connection ~path (fun send ->
+            send [ Protocol.request_to_string ~id:9 Protocol.Stats ])
+      with
+      | [ line ] -> (
+        match Protocol.response_of_string line with
+        | Ok (Some 9, Protocol.Stats_r _) -> ()
+        | _ -> Alcotest.fail "text after binary must still parse")
+      | _ -> Alcotest.fail "expected one reply line")
+
+let test_corrupt_frame_isolation () =
+  with_server (fun path ->
+      let a = connect path and b = connect path in
+      Unix.setsockopt_float a Unix.SO_RCVTIMEO 10.0;
+      Unix.setsockopt_float b Unix.SO_RCVTIMEO 10.0;
+      write_all a (Wire.encode_request ~id:1 Protocol.Stats);
+      (match Wire.decode_response (read_frame a) with
+      | Ok (Some 1, Protocol.Stats_r _) -> ()
+      | _ -> Alcotest.fail "expected stats reply on connection A");
+      (* One flipped CRC bit on B: the server must close B... *)
+      let f = Bytes.of_string (Wire.encode_request ~id:2 Protocol.Stats) in
+      let last = Bytes.length f - 1 in
+      Bytes.set f last (Char.chr (Char.code (Bytes.get f last) lxor 0x01));
+      write_all b (Bytes.to_string f);
+      let buf = Bytes.create 1 in
+      (match Unix.read b buf 0 1 with
+      | 0 -> ()
+      | _ -> Alcotest.fail "server answered a corrupt frame"
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ());
+      Unix.close b;
+      (* ...and only B: A keeps working. *)
+      write_all a (Wire.encode_request ~id:3 Protocol.Stats);
+      (match Wire.decode_response (read_frame a) with
+      | Ok (Some 3, Protocol.Stats_r _) -> ()
+      | _ -> Alcotest.fail "connection A died with B");
+      Unix.close a)
+
+let fd_count () = Array.length (Sys.readdir "/proc/self/fd")
+
+let test_fd_leak_regression () =
+  (* 100 connect / abrupt-kill cycles, some mid-line, some mid-frame:
+     the process fd count must return to its baseline. *)
+  with_server (fun path ->
+      let cycle i =
+        let fd = connect path in
+        (match i mod 3 with
+        | 0 -> ()  (* connect and vanish before the sniff byte *)
+        | 1 -> write_all fd "t"  (* half a text line *)
+        | _ ->
+          let frame = Wire.encode_request ~id:i Protocol.Stats in
+          write_all fd (String.sub frame 0 (String.length frame - 2)));
+        Unix.close fd
+      in
+      cycle 0;
+      ignore (Unix.select [] [] [] 0.3);
+      let baseline = fd_count () in
+      for i = 1 to 100 do
+        cycle i
+      done;
+      let rec wait n =
+        if fd_count () > baseline then
+          if n = 0 then
+            Alcotest.failf "fd count %d stuck above baseline %d" (fd_count ())
+              baseline
+          else begin
+            ignore (Unix.select [] [] [] 0.1);
+            wait (n - 1)
+          end
+      in
+      wait 50)
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "every request type round-trips" `Quick
+            test_request_roundtrip;
+          Alcotest.test_case "every response type round-trips" `Quick
+            test_response_roundtrip;
+          Alcotest.test_case "header peeks" `Quick test_header_peeks;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "truncation at every byte offset" `Quick
+            test_truncation_every_offset;
+          Alcotest.test_case "every single-bit flip is rejected" `Quick
+            test_bitflip_every_bit;
+          qc test_fuzz_mutations;
+        ] );
+      ( "socket",
+        [
+          Alcotest.test_case "sniff: both dialects, one socket" `Quick
+            test_sniff_both_dialects;
+          Alcotest.test_case "corrupt frame kills only its connection" `Quick
+            test_corrupt_frame_isolation;
+          Alcotest.test_case "no fd leak after 100 abrupt disconnects" `Quick
+            test_fd_leak_regression;
+        ] );
+    ]
