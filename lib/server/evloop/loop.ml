@@ -29,6 +29,8 @@ type 'a t = {
   mutable stopping : bool;
   mutable deadline : float;
   mutable last_sweep : float;
+  mutable accept_paused_until : float;  (* 0. = listener armed *)
+  mutable finished : bool;  (* guarded by [lock]; pipes closed *)
 }
 
 and 'a handlers = {
@@ -53,6 +55,10 @@ let sorted_conns t =
 
 let create ?(idle_timeout = 0.) ?(max_out_bytes = 1 lsl 20) ~listen ~handlers
     () =
+  (* A peer that vanishes with replies still queued must surface as
+     EPIPE on the writev ([flush_out] closes the connection), not as a
+     process-killing SIGPIPE. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   Unix.set_nonblock listen;
   let pipe_r, pipe_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock pipe_r;
@@ -77,6 +83,8 @@ let create ?(idle_timeout = 0.) ?(max_out_bytes = 1 lsl 20) ~listen ~handlers
     stopping = false;
     deadline = infinity;
     last_sweep = now ();
+    accept_paused_until = 0.;
+    finished = false;
   }
 
 let close_conn t c =
@@ -198,11 +206,20 @@ let wake_byte = Bytes.make 1 '\000'
 
 let inject t f =
   Mutex.lock t.lock;
-  Queue.add f t.injected;
-  Mutex.unlock t.lock;
-  (* A full pipe already guarantees a pending wakeup. *)
-  try ignore (Unix.write t.pipe_w wake_byte 0 1)
-  with Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+  if not t.finished then begin
+    Queue.add f t.injected;
+    (* The wake write stays inside the critical section: [run]'s
+       epilogue closes [pipe_w] under the same lock after setting
+       [finished], so the fd can never be closed — or reused by a
+       later open — between the check and the write.  A full pipe
+       already guarantees a pending wakeup, so EAGAIN is fine; no
+       error may escape with the lock held. *)
+    try ignore (Unix.write t.pipe_w wake_byte 0 1)
+    with Unix.Unix_error _ -> ()
+  end;
+  (* Once finished, injections are dropped: the loop that would have
+     run them is gone, and every connection is already closed. *)
+  Mutex.unlock t.lock
 
 let run_injected t =
   let drain = Bytes.create 256 in
@@ -217,13 +234,38 @@ let run_injected t =
   Mutex.unlock t.lock;
   Queue.iter (fun f -> try f () with _ -> ()) fs
 
+(* Accept failed for a reason that will not clear by itself this round
+   (fd exhaustion, out of memory, ...).  Disarm the listener and let
+   [run] re-arm it after a short backoff: the fd is level-triggered, so
+   leaving it armed would spin the loop at 100% CPU retrying an accept
+   that keeps failing — starving every established connection, which is
+   worse than briefly refusing new ones. *)
+let accept_backoff_s = 0.1
+
+let pause_accept t =
+  t.accept_paused_until <- now () +. accept_backoff_s;
+  try Epoll.modify t.ep t.listen ~read:false ~write:false
+  with Unix.Unix_error _ -> ()
+
+let resume_accept t nw =
+  if t.accept_paused_until > 0. && nw >= t.accept_paused_until then begin
+    t.accept_paused_until <- 0.;
+    if t.accepting then
+      try Epoll.modify t.ep t.listen ~read:true ~write:false
+      with Unix.Unix_error _ -> ()
+  end
+
 let rec accept_loop t budget =
   if budget > 0 && t.accepting then
     match Unix.accept ~cloexec:true t.listen with
-    | exception
-        Unix.Unix_error
-          ((EAGAIN | EWOULDBLOCK | ECONNABORTED | EINTR), _, _) ->
-        ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error ((ECONNABORTED | EINTR), _, _) ->
+        (* Per-connection casualty; the next one may be fine. *)
+        accept_loop t (budget - 1)
+    | exception Unix.Unix_error (_, _, _) ->
+        (* EMFILE/ENFILE at the advertised connection scale, and
+           anything else persistent: back off, never kill the loop. *)
+        pause_accept t
     | nfd, _addr ->
         Unix.set_nonblock nfd;
         (try Unix.setsockopt nfd Unix.TCP_NODELAY true
@@ -305,6 +347,7 @@ let run t =
         evs;
       flush_dirty t;
       let nw = now () in
+      resume_accept t nw;
       if nw -. t.last_sweep > 1.0 then begin
         t.last_sweep <- nw;
         sweep t nw
@@ -314,5 +357,11 @@ let run t =
   List.iter (fun c -> close_conn t c) (sorted_conns t);
   Epoll.close t.ep;
   (try Unix.close t.listen with Unix.Unix_error _ -> ());
+  (* Flip [finished] and close the self-pipe under the lock, pairing
+     with [inject]: an engine worker delivering a late reply sees
+     either an open pipe or a no-op, never a closed/reused fd. *)
+  Mutex.lock t.lock;
+  t.finished <- true;
   (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
-  try Unix.close t.pipe_w with Unix.Unix_error _ -> ()
+  (try Unix.close t.pipe_w with Unix.Unix_error _ -> ());
+  Mutex.unlock t.lock

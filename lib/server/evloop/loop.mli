@@ -63,11 +63,17 @@ val shutdown : ?grace:float -> 'a t -> unit
 
 val inject : 'a t -> (unit -> unit) -> unit
 (** Thread-safe: queue [f] to run on the loop thread and wake the
-    loop.  The only entry point for other domains. *)
+    loop.  The only entry point for other domains.  After {!run} has
+    returned this is a no-op ([f] is dropped), so workers delivering
+    late replies during teardown are safe. *)
 
 val send : 'a t -> 'a conn -> Epoll.iovec list -> unit
-(** Queue iovecs on [c]'s output and attempt an immediate write.
-    Zero-length iovecs are dropped.  Loop-thread only. *)
+(** Queue iovecs on [c]'s output.  Bytes are not written here: the
+    connection is marked dirty and flushed with writev once at the end
+    of the current event-loop round, so all replies produced for one
+    connection in a round coalesce into as few syscalls as the iovec
+    limit allows.  Zero-length iovecs are dropped.  Loop-thread
+    only. *)
 
 val close_conn : 'a t -> 'a conn -> unit
 (** Close immediately, discarding queued output.  Loop-thread only. *)

@@ -292,6 +292,10 @@ let encode_one ~binary ~id req =
 let stall_limit_s = 30.0
 
 let run_open ~path (cfg : open_config) =
+  (* A server-side close with our request bytes still unwritten must
+     surface as EPIPE on the write (handled by [close_conn]), not kill
+     the whole load generator with SIGPIPE. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   if cfg.connections < 1 then invalid_arg "Loadgen.run_open: connections must be >= 1";
   if cfg.total < 0 then invalid_arg "Loadgen.run_open: negative total";
   if cfg.tiles = [] then invalid_arg "Loadgen.run_open: empty tile catalogue";

@@ -346,6 +346,36 @@ let test_fd_leak_regression () =
       in
       wait 50)
 
+let test_sigpipe_reply_in_flight () =
+  (* Pipeline thousands of requests and read none of the replies: they
+     overflow the server's socket buffer into its output queue, leaving
+     write interest armed.  Closing then makes the connection's next
+     event writable+hangup, so [flush_out] writev's into the dead peer
+     before any read can observe EOF.  That must surface as EPIPE
+     (connection closed), never as SIGPIPE — which, unignored, would
+     kill the server domain and this whole test binary with it. *)
+  with_server (fun path ->
+      let fd = connect path in
+      (* 30k pipelined stats: ~600 KB of replies — past the ~208 KB
+         socket buffer (so output queues server-side) yet below the
+         1 MiB backpressure watermark (so every request is read). *)
+      let buf = Buffer.create (1 lsl 19) in
+      for i = 1 to 30_000 do
+        Buffer.add_string buf (Wire.encode_request ~id:i Protocol.Stats)
+      done;
+      write_all fd (Buffer.contents buf);
+      (* Give the server time to back its reply queue up behind us. *)
+      ignore (Unix.select [] [] [] 0.3);
+      Unix.close fd;
+      ignore (Unix.select [] [] [] 0.2);
+      let fd = connect path in
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+      write_all fd (Wire.encode_request ~id:0 Protocol.Stats);
+      (match Wire.decode_response (read_frame fd) with
+      | Ok (Some 0, Protocol.Stats_r _) -> ()
+      | _ -> Alcotest.fail "server unresponsive after reply-in-flight close");
+      Unix.close fd)
+
 let () =
   Alcotest.run "wire"
     [
@@ -373,5 +403,7 @@ let () =
             test_corrupt_frame_isolation;
           Alcotest.test_case "no fd leak after 100 abrupt disconnects" `Quick
             test_fd_leak_regression;
+          Alcotest.test_case "reply to a dead peer never raises SIGPIPE"
+            `Quick test_sigpipe_reply_in_flight;
         ] );
     ]
